@@ -1,0 +1,34 @@
+# Convenience targets for the XEMEM reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+figures:
+	$(PYTHON) -m repro all
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/xpmem_c_port.py
+	$(PYTHON) examples/enclave_topology_tour.py
+	$(PYTHON) examples/insitu_composed_workload.py
+	$(PYTHON) examples/noise_and_isolation.py
+
+clean:
+	rm -rf build *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,40 @@
+"""Benchmark harness support.
+
+Each benchmark runs its figure's experiment generator once (the
+simulation is deterministic; pytest-benchmark's repetition would measure
+the simulator, not the system), asserts the paper's qualitative
+invariants, and writes a paper-vs-measured report to
+``benchmarks/results/<name>.txt`` — the inputs to EXPERIMENTS.md.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+
+@pytest.fixture
+def report_file():
+    """Writer: report_file(name, text) persists a result artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        # also echo so `pytest -s` shows it inline
+        print(f"\n=== {name} ===\n{text}")
+
+    return write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,45 @@
+"""Figure 5: shared-memory attach throughput vs RDMA verbs over IB.
+
+Paper: attach sustains ≈13 GB/s and attach+read ≈12 GB/s, flat from
+128 MB to 1 GB; RDMA verbs manage ≈3.4 GB/s. The invariants asserted
+here are the figure's content: the two shared-memory series sit in those
+bands, stay flat across sizes, and beat RDMA by roughly 4×.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig5_throughput
+from repro.bench.report import render_series
+from repro.hw.costs import MB
+
+
+def test_fig5_throughput(benchmark, report_file):
+    result = run_once(benchmark, fig5_throughput, reps=10)
+
+    # bands
+    assert all(12.0 <= x <= 14.0 for x in result.attach_gib_s)
+    assert all(11.0 <= x <= 13.0 for x in result.attach_read_gib_s)
+    assert all(3.0 <= x <= 3.6 for x in result.rdma_gib_s)
+    # attach+read sits below attach (the per-page read touch)
+    for a, ar in zip(result.attach_gib_s, result.attach_read_gib_s):
+        assert ar < a
+    # flat across sizes: max/min within 5%
+    for series in (result.attach_gib_s, result.attach_read_gib_s):
+        assert max(series) / min(series) < 1.05
+    # shared memory beats RDMA by roughly the paper's factor
+    assert min(result.attach_gib_s) / max(result.rdma_gib_s) > 3.0
+
+    text = render_series(
+        {
+            "attach GiB/s": result.attach_gib_s,
+            "attach+read GiB/s": result.attach_read_gib_s,
+            "RDMA GiB/s": result.rdma_gib_s,
+        },
+        "size MB",
+        [s // MB for s in result.sizes_bytes],
+        title=(
+            "Figure 5 — cross-enclave throughput (paper: attach ~13, "
+            "attach+read ~12, RDMA ~3.4 GB/s)"
+        ),
+    )
+    report_file("fig5_throughput", text)

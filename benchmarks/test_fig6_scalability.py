@@ -1,0 +1,43 @@
+"""Figure 6: throughput scaling with the number of co-kernel enclaves.
+
+Paper: per-pair throughput is ≈13 GB/s with 1 enclave, dips slightly at
+2 (core-0 IPI handling + contended Linux map structures, §5.3), then
+stays flat through 8 enclaves for every region size.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig6_scalability
+from repro.bench.report import render_series
+from repro.hw.costs import MB
+
+
+def test_fig6_scalability(benchmark, report_file):
+    result = run_once(benchmark, fig6_scalability, reps=4)
+
+    for size in result.sizes_bytes:
+        series = result.throughput[size]
+        one, two, rest = series[0], series[1], series[2:]
+        # the 1->2 dip exists but is mild (paper: ~13 -> ~12)
+        assert two < one
+        assert two / one > 0.85
+        # flat beyond 2 enclaves: every later point within 5% of the
+        # 2-enclave value
+        for x in rest:
+            assert abs(x - two) / two < 0.05
+        # absolute band
+        assert 11.0 <= min(series) and max(series) <= 14.0
+
+    text = render_series(
+        {
+            f"{size // MB}MB GiB/s": result.throughput[size]
+            for size in result.sizes_bytes
+        },
+        "enclaves",
+        result.enclave_counts,
+        title=(
+            "Figure 6 — per-pair attach throughput vs enclave count "
+            "(paper: ~13 at 1, dip to ~12 at 2, then flat)"
+        ),
+    )
+    report_file("fig6_scalability", text)

@@ -1,0 +1,73 @@
+"""Simulator performance: how fast the reproduction itself runs.
+
+Unlike the figure benchmarks (deterministic virtual-time experiments run
+once), these measure real wall time with proper repetition — the cost of
+simulating the hot paths. Useful for catching performance regressions in
+the page-table vectorization and the RB-tree mirror.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.configs import build_cokernel_system
+from repro.hw.costs import CostModel, GB, MB, PAGE_4K
+from repro.kernels.pagetable import PageTable
+from repro.virt.memmap import VmmMemoryMap
+from repro.xemem import XpmemApi
+
+
+def test_speed_pagetable_map_translate_unmap(benchmark):
+    """1 GiB worth of PTEs (262 144 pages) through the vectorized paths."""
+    pfns = np.arange(262_144, dtype=np.int64)
+
+    def cycle():
+        pt = PageTable()
+        pt.map_range(0, pfns)
+        got = pt.translate_range(0, len(pfns))
+        pt.unmap_range(0, len(pfns))
+        return got[-1]
+
+    result = benchmark(cycle)
+    assert result == 262_143
+
+
+def test_speed_native_attach_detach_256mb(benchmark):
+    """Full protocol round trip: export once, attach/detach 256 MiB."""
+    rig = build_cokernel_system(num_cokernels=1, cokernel_mem=512 * MB)
+    eng = rig.engine
+    kitten = rig.cokernels[0].kernel
+    kitten.heap_pages = 256 * MB // PAGE_4K + 16
+    kp = kitten.create_process("exp")
+    lp = rig.linux.kernel.create_process("att", core_id=2)
+    heap = kitten.heap_region(kp)
+    api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+
+    def setup():
+        segid = yield from api_k.xpmem_make(heap.start, 256 * MB)
+        apid = yield from api_l.xpmem_get(segid)
+        return apid
+
+    apid = eng.run_process(setup())
+
+    def cycle():
+        def run():
+            att = yield from api_l.xpmem_attach(apid)
+            yield from api_l.xpmem_detach(att)
+
+        eng.run_process(run())
+
+    benchmark(cycle)
+
+
+def test_speed_rb_memmap_insert_64k_entries(benchmark):
+    """Per-page RB-tree mirror: 65 536 scattered-frame inserts + removal."""
+    costs = CostModel()
+    hpas = np.arange(0, 131_072, 2, dtype=np.int64)
+
+    def cycle():
+        mm = VmmMemoryMap(costs, backend="rbtree")
+        work = mm.insert_mapping(0, hpas)
+        mm.remove_mapping(0, len(hpas))
+        return work
+
+    assert benchmark(cycle) > 0

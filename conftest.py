@@ -1,0 +1,15 @@
+"""Root conftest: make ``repro`` importable even without installation.
+
+``pip install -e .`` requires the ``wheel`` package for PEP 660 editable
+installs; offline environments may lack it (``python setup.py develop`` is
+the fallback, see README). To keep ``pytest`` self-sufficient either way,
+prepend ``src/`` to ``sys.path`` when the package is not already installed.
+"""
+
+import pathlib
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(pathlib.Path(__file__).parent / "src"))

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+This environment has no ``wheel`` package and no network, so PEP 660
+editable installs are unavailable; configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

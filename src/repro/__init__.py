@@ -1,0 +1,46 @@
+"""XEMEM reproduction: cross-enclave shared memory for composed applications.
+
+This package reproduces *XEMEM: Efficient Shared Memory for Composed
+Applications on Multi-OS/R Exascale Systems* (Kocoloski & Lange, HPDC 2015)
+on a deterministic, discrete-event simulated exascale node.
+
+Layering (bottom to top):
+
+``repro.sim``
+    Discrete-event engine: virtual clock, generator processes, resources.
+``repro.hw``
+    Hardware substrate: physical frames over a real numpy backing store,
+    NUMA topology, IPIs, the InfiniBand NIC, and the calibrated cost model.
+``repro.kernels``
+    Enclave operating systems: 4-level page tables, address spaces, the
+    Linux fullweight kernel and the Kitten lightweight kernel models.
+``repro.virt``
+    The Palacios lightweight VMM: red-black-tree memory map, virtual PCI
+    device, guest Linux enclaves.
+``repro.pisces``
+    The Pisces co-kernel architecture: node partitioning and the IPI-based
+    cross-enclave kernel channel.
+``repro.enclave``
+    Enclave abstraction and hierarchical topologies with name-server
+    discovery and routing (paper section 3.2).
+``repro.xemem``
+    The paper's contribution: the XPMEM-compatible API, the centralized
+    name server, the command routing protocol, and the per-enclave XEMEM
+    module that walks page tables and installs cross-enclave mappings.
+``repro.workloads``
+    HPCCG-style conjugate gradient, STREAM, the composed in situ driver,
+    and the Selfish Detour noise benchmark.
+``repro.cluster``
+    Multi-node simulation, the MPI collectives model, and the RDMA verbs
+    baseline.
+``repro.bench``
+    Experiment drivers that regenerate every figure and table in the
+    paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim.engine import Engine
+from repro.hw.costs import CostModel
+
+__all__ = ["Engine", "CostModel", "__version__"]

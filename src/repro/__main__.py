@@ -1,0 +1,212 @@
+"""Command-line entry point: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig5 [--reps 20]
+    python -m repro fig6 [--reps 5]
+    python -m repro table2 [--reps 5]
+    python -m repro fig7 [--seconds 10]
+    python -m repro fig8 [--runs 5]
+    python -m repro fig9 [--runs 3]
+    python -m repro ablations [--reps 3]
+    python -m repro all
+
+Each command builds the experiment from scratch, runs it on the virtual
+clock, and prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import figures
+from repro.bench.report import render_series, render_table
+from repro.hw.costs import MB
+
+
+def _fig5(args) -> str:
+    r = figures.fig5_throughput(reps=args.reps)
+    return render_series(
+        {
+            "attach GiB/s": r.attach_gib_s,
+            "attach+read GiB/s": r.attach_read_gib_s,
+            "RDMA GiB/s": r.rdma_gib_s,
+        },
+        "size MB",
+        [s // MB for s in r.sizes_bytes],
+        title="Figure 5 (paper: ~13 / ~12 / ~3.4 GB/s)",
+    )
+
+
+def _fig6(args) -> str:
+    r = figures.fig6_scalability(reps=args.reps)
+    return render_series(
+        {f"{s // MB}MB": r.throughput[s] for s in r.sizes_bytes},
+        "enclaves",
+        r.enclave_counts,
+        title="Figure 6 (paper: ~13 at 1 enclave, slight dip at 2, then flat)",
+    )
+
+
+def _table2(args) -> str:
+    r = figures.table2_vm_throughput(reps=args.reps)
+    rows = [
+        (row.exporting, row.attaching, row.gib_s,
+         "-" if row.gib_s_without_rb is None else f"{row.gib_s_without_rb:.3f}")
+        for row in r.rows
+    ]
+    return render_table(
+        ["exporting", "attaching", "GiB/s", "w/o rb inserts"],
+        rows,
+        title="Table 2 (paper: 12.841 / 3.991 (8.79) / 12.606 GB/s)",
+    )
+
+
+def _fig7(args) -> str:
+    from repro.bench.plot import render_scatter
+
+    r = figures.fig7_noise(duration_s=args.seconds)
+    rows = [("baseline", f"{r.baseline_us:.1f} us"), ("SMI", f"{r.smi_us:.1f} us")]
+    rows += [(f"{label} attachment", f"{us:.1f} us" if us else "below threshold")
+             for label, us in r.attach_detour_us.items()]
+    table = render_table(
+        ["detour source", "duration"],
+        rows,
+        title=f"Figure 7 — {len(r.detours)} detours in {args.seconds}s window",
+    )
+    series = {}
+    for t, dur_us, source in r.detours:
+        series.setdefault(source.split(":")[0], []).append((t, dur_us))
+    scatter = render_scatter(
+        series,
+        log_y=True,
+        title="detour duration (us, log) over time — the paper's Fig. 7 panels:",
+        x_label="seconds",
+        y_label="us",
+    )
+    return table + "\n\n" + scatter
+
+
+def _fig8(args) -> str:
+    from repro.bench.report import render_bars
+
+    r = figures.fig8_single_node(runs=args.runs)
+    rows = [
+        (c.config, c.execution, c.attach, c.mean_s, c.stdev_s) for c in r.cells
+    ]
+    table = render_table(
+        ["configuration", "execution", "attach", "mean s", "stdev s"],
+        rows,
+        title="Figure 8 (paper band ~140-160 s)",
+    )
+    one_time = [
+        (f"{c.config} [{c.execution}]", c.mean_s)
+        for c in r.cells
+        if c.attach == "one_time"
+    ]
+    floor = 5 * (min(v for _l, v in one_time) // 5)
+    bars = render_bars(one_time, title="one-time attachment model:",
+                       unit="s", baseline=floor)
+    return table + "\n\n" + bars
+
+
+def _fig9(args) -> str:
+    r = figures.fig9_multi_node(runs=args.runs)
+    rows = [(p.attach, p.mode, p.nodes, p.mean_s, p.stdev_s) for p in r.points]
+    return render_table(
+        ["attach", "composition", "nodes", "mean s", "stdev s"],
+        rows,
+        title="Figure 9 (paper band ~42-54 s)",
+    )
+
+
+def _ablations(args) -> str:
+    base = figures.table2_vm_throughput(reps=args.reps)
+    radix = figures.table2_vm_throughput(reps=args.reps, memmap_backend="radix")
+    coal = figures.table2_vm_throughput(reps=args.reps, memmap_coalesce=True)
+
+    def vm_row(r):
+        return next(x for x in r.rows if x.attaching == "Linux (VM)")
+
+    rows = [
+        ("rbtree per-page (shipped)", vm_row(base).gib_s),
+        ("radix map (ablation A)", vm_row(radix).gib_s),
+        ("rbtree + coalescing (ablation C)", vm_row(coal).gib_s),
+    ]
+    part1 = render_table(["guest memory map", "VM attach GiB/s"], rows,
+                         title="Ablations A/C (paper baseline: 3.991 GB/s)")
+    core0 = figures.fig6_scalability(reps=args.reps, sizes=(256 * MB,))
+    spread = figures.fig6_scalability(
+        reps=args.reps, sizes=(256 * MB,), ipi_target_policy="distributed"
+    )
+    part2 = render_series(
+        {"core0": core0.throughput[256 * MB],
+         "distributed": spread.throughput[256 * MB]},
+        "enclaves",
+        core0.enclave_counts,
+        title="Ablation B — IPI routing (256MB, GiB/s per pair)",
+    )
+    return part1 + "\n\n" + part2
+
+
+def _explain(args) -> str:
+    from repro.bench.explain import explain_native_attach, explain_vm_attach
+
+    parts = []
+    for breakdown in (explain_native_attach(), explain_vm_attach()):
+        parts.append(
+            render_table(
+                ["stage", "time", "share"],
+                breakdown.rows(),
+                title=f"{breakdown.path}: {breakdown.gib_s:.2f} GiB/s for "
+                      f"{breakdown.size_bytes // MB} MB",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+COMMANDS = {
+    "explain": _explain,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "table2": _table2,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "ablations": _ablations,
+}
+
+
+def main(argv=None) -> int:
+    """Parse arguments and run the requested figure command(s)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the XEMEM paper's evaluation figures.",
+    )
+    parser.add_argument("command", choices=sorted(COMMANDS) + ["all", "list"])
+    parser.add_argument("--reps", type=int, default=5,
+                        help="attachments per measurement (paper: 500)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="seeded runs per fig8/fig9 cell (paper: 10/5)")
+    parser.add_argument("--seconds", type=int, default=10,
+                        help="fig7 measurement window")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(COMMANDS):
+            print(name, "-", COMMANDS[name].__doc__ or "")
+        return 0
+
+    names = sorted(COMMANDS) if args.command == "all" else [args.command]
+    for name in names:
+        t0 = time.time()
+        print(COMMANDS[name](args))
+        print(f"[{name} regenerated in {time.time() - t0:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""ASCII plots for the CLI: scatter (Fig. 7 style) and line series.
+
+No plotting dependency exists in the offline environment, and the
+figures are simple enough that character plots carry the same
+information the paper's postscript does: bands of points at different
+magnitudes (Fig. 7), or a handful of trend lines (Figs. 5/6/9).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Characters used to distinguish series in scatter/line plots.
+MARKS = "ox+*#@%&"
+
+
+def render_scatter(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Scatter plot of named point series onto a character grid.
+
+    ``series`` maps a label to (x, y) points. With ``log_y`` the vertical
+    axis is decades — the right shape for Fig. 7, whose detours span four
+    orders of magnitude.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    if log_y and any(y <= 0 for _x, y in points):
+        raise ValueError("log_y requires positive y values")
+    xs = [x for x, _y in points]
+    ys = [(math.log10(y) if log_y else y) for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (label, pts) in zip(MARKS, series.items()):
+        for x, y in pts:
+            yy = math.log10(y) if log_y else y
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = (height - 1) - int((yy - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    lines = [title] if title else []
+    top_label = f"10^{y_hi:.1f}" if log_y else f"{y_hi:g}"
+    bot_label = f"10^{y_lo:.1f}" if log_y else f"{y_lo:g}"
+    margin = max(len(top_label), len(bot_label), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label
+        elif i == height - 1:
+            prefix = bot_label
+        elif i == height // 2 and y_label:
+            prefix = y_label
+        else:
+            prefix = ""
+        lines.append(f"{prefix:>{margin}} |" + "".join(row))
+    lines.append(f"{'':>{margin}} +" + "-" * width)
+    x_axis = f"{x_lo:g}"
+    x_axis += " " * max(1, width - len(x_axis) - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(f"{'':>{margin}}  " + x_axis + (f"  ({x_label})" if x_label else ""))
+    legend = "   ".join(
+        f"{mark}={label}" for mark, label in zip(MARKS, series.keys())
+    )
+    lines.append(f"{'':>{margin}}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_lines(
+    series: Dict[str, List[float]],
+    xs: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Line-ish plot: one mark per series at each x (Figs. 6/9 shape)."""
+    as_points = {
+        label: list(zip(xs, values)) for label, values in series.items()
+    }
+    return render_scatter(
+        as_points, width=width, height=height, title=title, x_label=x_label
+    )

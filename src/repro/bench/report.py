@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results (for EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: List[Sequence], title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(series: Dict[str, List], x_label: str, xs: List, title: str = "") -> str:
+    """One column per named series, rows indexed by ``xs``."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(headers, rows, title=title)
+
+
+def render_bars(items: List[Tuple[str, float]], width: int = 50,
+                title: str = "", unit: str = "", baseline: float = 0.0) -> str:
+    """Horizontal ASCII bar chart for quick terminal comparison.
+
+    ``baseline`` shifts the bar origin (useful when all values share a
+    large common floor, e.g. completion times around 140 s).
+    """
+    if not items:
+        raise ValueError("nothing to chart")
+    label_w = max(len(label) for label, _v in items)
+    top = max(v for _l, v in items)
+    if top <= baseline:
+        raise ValueError("baseline must be below the maximum value")
+    lines = [title] if title else []
+    for label, value in items:
+        filled = int(round(width * max(value - baseline, 0) / (top - baseline)))
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:.2f}{unit}")
+    if baseline:
+        lines.append(f"{'':{label_w}} | (bars start at {baseline:g}{unit})")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,19 @@
+"""Multi-node simulation: the §7 cluster, MPI collectives, RDMA baseline.
+
+All nodes share one simulation engine (one global virtual clock); they
+interact only through the MPI model's collectives, which is exactly the
+noise-amplification channel the weak-scaling experiment exercises: every
+CG iteration ends in an allreduce, so one slow node stalls the rest.
+"""
+
+from repro.cluster.mpi import MpiWorld
+from repro.cluster.node import Cluster, ClusterConfig, ClusterResult
+from repro.cluster.rdma import RdmaBandwidthTest
+
+__all__ = [
+    "MpiWorld",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterResult",
+    "RdmaBandwidthTest",
+]

@@ -1,0 +1,99 @@
+"""A latency–bandwidth MPI model over the InfiniBand interconnect.
+
+Collectives are rendezvous points: every rank arrives, and all ranks are
+released together at ``max(arrival times) + collective cost``, with the
+cost following the standard Hockney/log-tree model
+``ceil(log2 N) × (latency + bytes / bandwidth)``. This is deliberately
+simple — the §7 experiments need the *synchronization* semantics (max
+over nodes, the OS-noise amplification mechanism of the papers the
+authors cite [9, 14]) far more than they need congestion modeling.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.costs import CostModel
+from repro.sim.engine import Engine
+
+
+class MpiWorld:
+    """One communicator spanning the cluster's ranks."""
+
+    def __init__(self, engine: Engine, nranks: int, costs: CostModel):
+        if nranks < 1:
+            raise ValueError(f"bad rank count {nranks}")
+        self.engine = engine
+        self.nranks = nranks
+        self.costs = costs
+        self._arrivals = 0
+        self._release = engine.event("mpi-release")
+        self._pairwise = {}
+        self.collectives = 0
+        self.exchanges = 0
+        self.total_wait_ns = 0
+
+    def collective_cost_ns(self, nbytes: int) -> int:
+        """Hockney/log-tree wire cost of one collective."""
+        stages = max(1, math.ceil(math.log2(self.nranks))) if self.nranks > 1 else 0
+        per_stage = self.costs.mpi_latency_ns + int(
+            nbytes * 1e9 / self.costs.mpi_bw_bytes_per_s
+        )
+        return stages * per_stage
+
+    def allreduce(self, nbytes: int = 8):
+        """Generator: one allreduce from the calling rank's perspective.
+
+        Every rank must call this the same number of times; mismatched
+        calls deadlock, exactly like real MPI.
+        """
+        arrived_at = self.engine.now
+        self._arrivals += 1
+        if self._arrivals == self.nranks:
+            # last arrival: release everyone after the wire cost
+            self._arrivals = 0
+            release, self._release = self._release, self.engine.event("mpi-release")
+            self.collectives += 1
+            yield self.engine.sleep(self.collective_cost_ns(nbytes))
+            release.trigger()
+        else:
+            release = self._release
+            yield release
+        self.total_wait_ns += self.engine.now - arrived_at
+        return self.engine.now
+
+    def barrier(self):
+        """Generator: a zero-payload collective."""
+        result = yield from self.allreduce(0)
+        return result
+
+    # -- point-to-point -----------------------------------------------------------
+
+    def exchange(self, rank: int, peer: int, nbytes: int):
+        """Generator: a paired halo exchange between ``rank`` and ``peer``.
+
+        Both sides must call with the same pair; both are released at
+        ``max(arrival) + latency + bytes/bandwidth`` (a symmetric
+        sendrecv). Used by HPCCG's per-iteration boundary exchange.
+        """
+        if peer == rank:
+            raise ValueError("cannot exchange with self")
+        if not (0 <= peer < self.nranks and 0 <= rank < self.nranks):
+            raise ValueError(f"rank pair ({rank}, {peer}) out of range")
+        key = (min(rank, peer), max(rank, peer))
+        arrived_at = self.engine.now
+        waiting = self._pairwise.get(key)
+        if waiting is None:
+            event = self.engine.event(f"xchg:{key}")
+            self._pairwise[key] = event
+            yield event
+        else:
+            del self._pairwise[key]
+            cost = self.costs.mpi_latency_ns + int(
+                nbytes * 1e9 / self.costs.mpi_bw_bytes_per_s
+            )
+            yield self.engine.sleep(cost)
+            waiting.trigger(None)
+        self.exchanges += 1
+        self.total_wait_ns += self.engine.now - arrived_at
+        return self.engine.now

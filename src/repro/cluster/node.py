@@ -1,0 +1,177 @@
+"""The §7 experimental cluster: 8 R420-class nodes over QDR InfiniBand.
+
+Two per-node enclave compositions (§7.1):
+
+* ``linux_only`` — both in situ components under one native Linux.
+* ``multi_enclave`` — the HPC simulation inside a Palacios VM on an
+  isolated Kitten co-kernel host; analytics under native Linux.
+
+Every node runs its own XEMEM system (name server in its Linux enclave —
+XEMEM is node-local; §7's cross-node traffic is MPI). The simulation
+ranks join an :class:`~repro.cluster.mpi.MpiWorld` and allreduce after
+every CG iteration, so per-node noise becomes cluster-wide time — the
+paper's weak-scaling divergence mechanism.
+
+The ``linux_only`` composition additionally carries *co-residency stall*
+noise on the simulation cores: with 8 MPI ranks and 8 OpenMP analytics
+threads sharing one kernel, the simulation occasionally loses tens of
+milliseconds to scheduler/page-cache activity it cannot be isolated
+from. The multi-enclave composition has no such source — that is the
+isolation the paper is selling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.enclave import EnclaveSystem
+from repro.hw import NodeHardware, R420_SPEC
+from repro.hw.costs import CostModel, GB
+from repro.kernels.noise import PeriodicNoise, attach_noise_profile
+from repro.pisces import PiscesManager
+from repro.sim import Engine
+from repro.workloads.hpccg import HpccgProblem
+from repro.workloads.insitu import InSituConfig, InSituResult, InSituWorkload
+from repro.cluster.mpi import MpiWorld
+
+#: Co-residency stall model (linux_only): roughly one stall per ~5 s of
+#: execution, exponentially distributed around 80 ms.
+CORESIDENCY_PERIOD_NS = 4_900_000_000
+CORESIDENCY_BURST_NS = 80_000_000
+
+
+@dataclass
+class ClusterConfig:
+    """One Fig. 9 experimental cell: node count, composition, workload."""
+    nodes: int = 1
+    enclave_mode: str = "linux_only"  # "linux_only" | "multi_enclave"
+    attach: str = "one_time"
+    iterations: int = 300
+    comm_interval: int = 30
+    data_bytes: int = 1 * GB
+    problem: HpccgProblem = field(default_factory=lambda: HpccgProblem(172, 172, 172))
+    sim_ncores: int = 8
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.enclave_mode not in ("linux_only", "multi_enclave"):
+            raise ValueError(f"bad enclave mode {self.enclave_mode!r}")
+        if self.nodes < 1:
+            raise ValueError("need at least one node")
+
+
+@dataclass
+class ClusterResult:
+    """Cluster completion time plus every node's in situ result."""
+    completion_s: float
+    per_node: List[InSituResult]
+    config: ClusterConfig
+
+    @property
+    def mean_sim_time_s(self) -> float:
+        """Average per-node simulation time."""
+        return sum(r.sim_time_s for r in self.per_node) / len(self.per_node)
+
+
+class Cluster:
+    """N simulated nodes + one MPI world, in one engine."""
+
+    def __init__(self, config: ClusterConfig, costs: Optional[CostModel] = None):
+        self.config = config
+        self.engine = Engine()
+        self.costs = costs or CostModel()
+        self.mpi = MpiWorld(self.engine, config.nodes, self.costs)
+        self.workloads: List[InSituWorkload] = []
+        for rank in range(config.nodes):
+            self.workloads.append(self._build_node(rank))
+
+    def _build_node(self, rank: int) -> InSituWorkload:
+        cfg = self.config
+        node = NodeHardware(self.engine, R420_SPEC, costs=self.costs, node_id=rank)
+        pisces = PiscesManager(node)
+        system = EnclaveSystem(node)
+        node_seed = cfg.seed * 131 + rank
+
+        if cfg.enclave_mode == "linux_only":
+            linux = pisces.boot_linux(core_ids=range(0, 16), mem_bytes=14 * GB)
+            sim_enclave = analytics_enclave = linux
+            sim_vm_slowdown = 1.0
+        else:
+            linux = pisces.boot_linux(core_ids=range(0, 8), mem_bytes=12 * GB)
+            kitten = pisces.boot_cokernel(
+                core_ids=range(12, 14), mem_bytes=8 * GB, zone_id=1, name=f"kitten-n{rank}"
+            )
+            system.add_all(pisces.all_enclaves)
+            vm = pisces.boot_vm(
+                kitten, core_ids=range(14, 22), ram_bytes=6 * GB, name=f"sim-vm-n{rank}"
+            )
+            system.add_enclave(vm)
+            sim_enclave, analytics_enclave = vm, linux
+            sim_vm_slowdown = self.costs.vm_compute_overhead
+
+        system.add_all(pisces.all_enclaves)
+        system.designate_name_server(pisces.linux_enclave)
+        from repro.xemem import install_xemem
+
+        install_xemem(system)
+        for enclave in system.enclaves:
+            attach_noise_profile(enclave.kernel, seed=node_seed)
+        if cfg.enclave_mode == "linux_only":
+            # co-residency stalls on the simulation's cores
+            for core in linux.kernel.cores[:cfg.sim_ncores]:
+                linux.kernel.noise_sources[core.core_id].append(
+                    PeriodicNoise(
+                        CORESIDENCY_PERIOD_NS,
+                        CORESIDENCY_BURST_NS,
+                        tag="coresidency",
+                        seed=node_seed * 17 + core.core_id,
+                        jitter_frac=0.5,
+                        exp_duration=True,
+                    )
+                )
+
+        insitu = InSituConfig(
+            execution="async",  # §7.2: async workflow only
+            attach=cfg.attach,
+            iterations=cfg.iterations,
+            comm_interval=cfg.comm_interval,
+            data_bytes=cfg.data_bytes,
+            problem=cfg.problem,
+            sim_ncores=cfg.sim_ncores,
+            sim_vm_slowdown=sim_vm_slowdown,
+            # §7.1 pins the components to separate NUMA domains, so the
+            # same-kernel bandwidth interference of the single-socket
+            # OptiPlex does not apply here; what Linux-only cannot avoid
+            # is OS-level co-residency (the stall source above).
+            colocated_interference=1.03,
+            seed=node_seed,
+        )
+
+        # HPCCG's per-iteration communication: halo exchange with the
+        # 1-D-decomposition neighbors (one z-face of doubles each way)
+        # followed by the CG dot-product allreduce.
+        face_bytes = cfg.problem.nx * cfg.problem.ny * 8
+        nodes = cfg.nodes
+
+        def hook(_iteration):
+            for peer in (rank - 1, rank + 1):
+                if 0 <= peer < nodes:
+                    yield from self.mpi.exchange(rank, peer, face_bytes)
+            yield from self.mpi.allreduce(16)
+
+        return InSituWorkload(
+            sim_enclave, analytics_enclave, insitu, iteration_hook=hook
+        )
+
+    def run(self) -> ClusterResult:
+        """Start every node's workload; completion = last simulation done."""
+        started = [w.start() for w in self.workloads]
+        for sim_p, ana_p in started:
+            self.engine.run_until_complete(sim_p)
+            self.engine.run_until_complete(ana_p)
+        per_node = [
+            w.collect(sim_p) for w, (sim_p, _ana) in zip(self.workloads, started)
+        ]
+        completion = max(r.sim_time_s for r in per_node)
+        return ClusterResult(completion, per_node, self.config)

@@ -1,0 +1,48 @@
+"""The RDMA verbs bandwidth baseline of Fig. 5.
+
+Per §5.2: the dual-port ConnectX-3 is configured with two SR-IOV virtual
+functions, each assigned to a KVM VM, and a simple RDMA write bandwidth
+test runs between them at the device's recommended MTU. XEMEM need only
+clear this bar to show cross-enclave shared memory is not losing to a
+network-based alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.costs import CostModel, gib_per_s
+from repro.hw.nic import InfinibandNic
+from repro.sim.engine import Engine
+
+
+@dataclass
+class RdmaResult:
+    """Outcome of one RDMA bandwidth test."""
+    transfer_bytes: int
+    repetitions: int
+    elapsed_ns: int
+
+    @property
+    def bandwidth_gib_s(self) -> float:
+        """Achieved payload bandwidth."""
+        return gib_per_s(self.transfer_bytes * self.repetitions, self.elapsed_ns)
+
+
+class RdmaBandwidthTest:
+    """ib_write_bw-style test between two SR-IOV VFs."""
+
+    def __init__(self, engine: Engine, costs: CostModel):
+        self.engine = engine
+        self.costs = costs
+        self.nic = InfinibandNic(engine, costs, num_vfs=2)
+
+    def run(self, transfer_bytes: int, repetitions: int = 100):
+        """Generator: ``repetitions`` RDMA writes of ``transfer_bytes``."""
+        if repetitions < 1:
+            raise ValueError("need at least one repetition")
+        vf = self.nic.vf(0)
+        t0 = self.engine.now
+        for _ in range(repetitions):
+            yield from vf.rdma_write(transfer_bytes)
+        return RdmaResult(transfer_bytes, repetitions, self.engine.now - t0)

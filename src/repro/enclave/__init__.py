@@ -1,0 +1,21 @@
+"""Enclaves and enclave topologies.
+
+An *enclave* (paper §1) is an isolated partition of hardware plus the
+system software stack managing it — here, one kernel model plus the
+cross-enclave channels Pisces or Palacios gave it. The *topology* (§3.2)
+is the graph of enclaves and channels, organized hierarchically around
+the enclave hosting the XEMEM name server; :class:`EnclaveSystem` runs
+the discovery protocol that assigns enclave IDs and builds each enclave's
+routing map.
+"""
+
+from repro.enclave.enclave import Enclave, Channel, KernelMessage
+from repro.enclave.topology import EnclaveSystem, DiscoveryError
+
+__all__ = [
+    "Enclave",
+    "Channel",
+    "KernelMessage",
+    "EnclaveSystem",
+    "DiscoveryError",
+]

@@ -1,0 +1,48 @@
+"""Hardware substrate: frames, NUMA topology, interrupts, NIC, cost model.
+
+Physical memory is *real*: every node owns a numpy byte array, and a frame
+is a 4 KiB window into it. Cross-enclave mappings therefore give genuine
+zero-copy semantics — bytes stored through one mapping are visible through
+every other mapping of the same frames — which the test suite verifies
+frame by frame.
+
+Time, by contrast, is *modeled*: :class:`~repro.hw.costs.CostModel` holds
+every nanosecond constant in the simulation, calibrated once against the
+paper's headline numbers (see DESIGN.md §4) and never tuned per-figure.
+"""
+
+from repro.hw.costs import CostModel, PAGE_4K, PAGE_2M, PAGE_1G
+from repro.hw.memory import (
+    PhysicalMemory,
+    NumaZone,
+    FrameAllocator,
+    FrameRange,
+    MappedRegion,
+    OutOfMemoryError,
+)
+from repro.hw.topology import NodeSpec, Core, Socket, NodeHardware, R420_SPEC, OPTIPLEX_SPEC
+from repro.hw.interrupts import InterruptController, IpiVector
+from repro.hw.nic import InfinibandNic, VirtualFunction
+
+__all__ = [
+    "CostModel",
+    "PAGE_4K",
+    "PAGE_2M",
+    "PAGE_1G",
+    "PhysicalMemory",
+    "NumaZone",
+    "FrameAllocator",
+    "FrameRange",
+    "MappedRegion",
+    "OutOfMemoryError",
+    "NodeSpec",
+    "Core",
+    "Socket",
+    "NodeHardware",
+    "R420_SPEC",
+    "OPTIPLEX_SPEC",
+    "InterruptController",
+    "IpiVector",
+    "InfinibandNic",
+    "VirtualFunction",
+]

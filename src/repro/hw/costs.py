@@ -1,0 +1,215 @@
+"""The calibrated cost model.
+
+Every nanosecond constant in the simulation lives here, in one dataclass,
+so that (a) no figure can be produced by per-experiment tuning, and (b) the
+calibration story is auditable in one screenful.
+
+Calibration (DESIGN.md §4) is against the paper's *headline* numbers on the
+Dell R420 testbed:
+
+* Native cross-enclave attach sustains ≈13 GB/s (Fig. 5). One attachment of
+  ``S`` bytes over 4 KiB pages costs ``S/4096`` iterations of the pipeline
+  *walk → PFN-list transfer → PTE install*, so the per-page total must come
+  to ≈293 ns. We split it 90/50/150 ns (walk / channel / install) plus a
+  ≈10 µs fixed cost per attachment (name-server lookup, routing, IPIs),
+  which is <0.2 % at 128 MB — hence the flat curve in Fig. 5.
+* The attach+read series sits ≈1 GB/s lower. The gap corresponds to a
+  ≈25 ns *per-page* validation touch, i.e. the reader touches each mapped
+  page rather than streaming every byte.
+* RDMA verbs over QDR InfiniBand: 40 Gb/s signalling, 8b/10b → 32 Gb/s data,
+  verbs efficiency ≈0.85 → ≈3.4 GB/s payload (Fig. 5 baseline).
+* Table 2's VM-attach asymmetry comes from the Palacios memory map: guest
+  attachments *insert* one red-black tree node per (non-contiguous) host
+  frame — O(log n) node visits each, at ``rb_node_visit_ns`` — while host
+  attachments only *look up* guest frames in a small tree whose last entry
+  is cached (``memmap_cache_hit_ns``), because VM RAM is a handful of large
+  contiguous blocks.
+* Fig. 7's detour magnitudes fall straight out of the walk constant: a 1 GB
+  attachment walks 262 144 pages ≈ 23.6 ms on the exporting Kitten core;
+  2 MB ≈ 46 µs; 4 KB disappears into the ≈12 µs baseline.
+
+All constants are integers in nanoseconds unless the name says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+#: Base page size. All frame numbers (PFNs) count 4 KiB frames.
+PAGE_4K = 4096
+#: Large page (2 MiB) — 512 contiguous base frames.
+PAGE_2M = 2 * 1024 * 1024
+#: Huge page (1 GiB) — 262 144 contiguous base frames.
+PAGE_1G = 1024 * 1024 * 1024
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+def gib_per_s(nbytes: int, elapsed_ns: float) -> float:
+    """Throughput in GiB/s — the unit the paper's figures use."""
+    if elapsed_ns <= 0:
+        raise ValueError(f"non-positive elapsed time {elapsed_ns}")
+    return nbytes / GB / (elapsed_ns / 1e9)
+
+
+@dataclass
+class CostModel:
+    """Nanosecond constants for every modeled hardware/kernel operation."""
+
+    # -- native attach pipeline (per 4 KiB page) -----------------------------
+    #: Exporter-side page-table walk + PFN-list append, per page.
+    walk_per_page_ns: int = 90
+    #: Marshalling + copying one PFN through a kernel channel.
+    channel_per_pfn_ns: int = 50
+    #: Attacher-side eager PTE install (cross-enclave attaches are eager).
+    map_install_per_page_ns: int = 150
+    #: Per-page validation touch for the Fig. 5 attach+read series.
+    page_touch_ns: int = 25
+    #: Fixed per-attachment cost: segid lookup, routing hops, signalling.
+    attach_fixed_ns: int = 10_000
+    #: Fixed per-export cost: name-server round trip to allocate a segid.
+    export_fixed_ns: int = 8_000
+    #: Fixed per-detach cost.
+    detach_fixed_ns: int = 4_000
+    #: Per-page PTE teardown on detach.
+    unmap_per_page_ns: int = 20
+
+    # -- Pisces IPI channel ---------------------------------------------------
+    #: One-way IPI delivery latency.
+    ipi_latency_ns: int = 1_500
+    #: Core-0 handler occupancy per channel chunk (paper §5.3: all Linux-side
+    #: IPI handling is restricted to core 0).
+    ipi_handler_core0_ns: int = 2_000
+    #: Size of the Pisces shared-memory message region; PFN lists are
+    #: streamed through it in chunks of this size.
+    channel_chunk_bytes: int = 64 * KB
+    #: Extra per-page cost on the native attach pipeline once two or more
+    #: co-kernel enclaves share the core-0 handler (cache-cold handler
+    #: dispatch + contended Linux memory-map structures). Models the
+    #: measured 1→2 enclave plateau of Fig. 6; the paper calls both causes
+    #: "not fundamental" and ablation B sets this to zero (distributed IPI
+    #: routing, the paper's proposed future work).
+    multi_enclave_channel_penalty_per_page_ns: int = 25
+
+    # -- Palacios VMM ---------------------------------------------------------
+    #: Guest→host exit via hypercall.
+    hypercall_ns: int = 2_000
+    #: Host→guest virtual IRQ injection (next VM entry).
+    virq_inject_ns: int = 2_500
+    #: Copying one PFN to/from the virtual PCI device window.
+    pci_copy_per_pfn_ns: int = 40
+    #: Cost per red-black-tree node visited (comparison / rotation step).
+    #: The tree's own visit counter includes descent, rotations, and
+    #: fixups (~35 visits per insert at 262k entries), so this per-visit
+    #: constant calibrates the 1 GiB guest-attach insert work to ≈520
+    #: ns/page — the Table 2 gap between 4.0 and 8.8 GiB/s.
+    rb_node_visit_ns: int = 15
+    #: Cost per radix-tree level traversed (ablation A backend).
+    radix_level_ns: int = 12
+    #: VMM memory-map last-entry cache hit (TLB-like memoization).
+    memmap_cache_hit_ns: int = 4
+    #: Guest-side PTE install for pages delivered via the PCI device.
+    #: Costlier than the native install: the guest's page-table updates go
+    #: through VMM shadow/nested paging. Calibrated with the RB insert
+    #: cost so the Table 2 middle row lands near 4.0 GiB/s (8.8 without
+    #: the tree inserts).
+    guest_map_install_per_page_ns: int = 230
+
+    # -- Linux kernel ---------------------------------------------------------
+    #: Demand-paging fault service (single-OS XEMEM attachments map lazily;
+    #: the recurring-attach penalty of Fig. 8(b) comes from these).
+    linux_page_fault_ns: int = 1_800
+    #: get_user_pages pinning, per page (exporter side, Linux enclaves).
+    #: Pages are generally already allocated (the paper's footnote 1) and
+    #: the refcount bump is cheap; calibrated so the Table 2 bottom row
+    #: (Linux-VM export → Kitten attach) stays near-native, as measured.
+    linux_gup_pin_per_page_ns: int = 20
+    #: vm_mmap fixed cost to carve a VMA.
+    vm_mmap_fixed_ns: int = 3_000
+    #: Timer tick period and per-tick stolen time (Linux noise floor).
+    linux_tick_period_ns: int = 1_000_000
+    linux_tick_cost_ns: int = 3_000
+    #: Background daemon burst: mean period and mean burst length. Bursts
+    #: are sampled exponentially (seeded) by the noise model. Together
+    #: with the tick this puts Linux's noise floor near 1.3% with a heavy
+    #: tail — enough to open the paper's ≈2 s Fig. 8 gap and the Fig. 9
+    #: weak-scaling divergence, without burying the compute signal.
+    linux_daemon_period_ns: int = 250_000_000
+    linux_daemon_burst_ns: int = 2_500_000
+
+    # -- Kitten kernel --------------------------------------------------------
+    #: Kitten's frequent baseline noise (Fig. 7): duration and period.
+    kitten_baseline_detour_ns: int = 12_000
+    kitten_baseline_period_ns: int = 10_000_000
+    #: Periodic firmware SMIs: duration and period (Fig. 7's ≈100 µs band).
+    smi_detour_ns: int = 100_000
+    smi_period_ns: int = 1_000_000_000
+
+    # -- memory system --------------------------------------------------------
+    #: Effective single-socket copy bandwidth (STREAM copy), bytes/second.
+    memcpy_bw_bytes_per_s: int = 10 * GB
+    #: STREAM triad effective bandwidth, bytes/second.
+    stream_bw_bytes_per_s: int = 8 * GB
+
+    # -- InfiniBand -----------------------------------------------------------
+    #: Effective RDMA verbs payload bandwidth (QDR, SR-IOV VF), bytes/second.
+    rdma_bw_bytes_per_s: int = 3_400_000_000
+    #: One-sided RDMA operation posting latency.
+    rdma_post_ns: int = 1_200
+    #: MPI point-to-point latency over IB.
+    mpi_latency_ns: int = 1_500
+    #: MPI large-message bandwidth, bytes/second.
+    mpi_bw_bytes_per_s: int = 3_400_000_000
+
+    # -- workload compute rates ----------------------------------------------
+    #: HPCCG effective cost per matrix nonzero per iteration, per core set
+    #: (memory-bound SpMV dominates; calibrated so the single-node Fig. 8
+    #: configuration lands in the paper's ≈140–160 s band).
+    hpccg_ns_per_nnz: float = 8.6
+    #: Slowdown multiplier for HPCCG when virtualized (small; Palacios is a
+    #: lightweight VMM and the paper finds virtualized compute competitive).
+    vm_compute_overhead: float = 1.01
+
+    def validate(self) -> None:
+        """Sanity-check invariants the calibration relies on."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (int, float)) and value < 0:
+                raise ValueError(f"negative cost constant {f.name}={value}")
+        if self.channel_chunk_bytes % 8 != 0:
+            raise ValueError("channel chunk must hold whole 8-byte PFNs")
+
+    # -- derived helpers -------------------------------------------------------
+
+    def native_attach_per_page_ns(self) -> int:
+        """Per-page cost of the native cross-enclave attach pipeline."""
+        return (
+            self.walk_per_page_ns
+            + self.channel_per_pfn_ns
+            + self.map_install_per_page_ns
+        )
+
+    def pages_of(self, nbytes: int) -> int:
+        """Number of 4 KiB pages covering ``nbytes`` (ceil)."""
+        return -(-nbytes // PAGE_4K)
+
+    def pfn_list_chunks(self, npages: int) -> int:
+        """Channel chunks needed to stream a PFN list of ``npages`` entries."""
+        pfn_bytes = 8 * npages
+        return max(1, -(-pfn_bytes // self.channel_chunk_bytes))
+
+    def memcpy_ns(self, nbytes: int) -> int:
+        """Modeled time to copy ``nbytes`` at memcpy bandwidth."""
+        return int(nbytes * 1e9 / self.memcpy_bw_bytes_per_s)
+
+    def rdma_transfer_ns(self, nbytes: int) -> int:
+        """Posting latency plus wire time for one RDMA transfer."""
+        return self.rdma_post_ns + int(nbytes * 1e9 / self.rdma_bw_bytes_per_s)
+
+
+#: Module-level default used when a component is not handed a model
+#: explicitly; benchmarks always construct their own.
+DEFAULT_COSTS = CostModel()
+DEFAULT_COSTS.validate()

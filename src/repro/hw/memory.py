@@ -1,0 +1,368 @@
+"""Physical memory: frames over a real numpy backing store.
+
+A node's RAM is one ``numpy`` byte array. Page frame number (PFN) ``n``
+names bytes ``[n*4096, (n+1)*4096)`` of that array. Every mapping anywhere
+in the simulation — a Kitten process heap, a Linux VMA, a guest-physical
+region inside a Palacios VM — ultimately resolves to PFNs here, so shared
+memory is genuinely shared: stores through one mapping are loads through
+another.
+
+NUMA is modeled as disjoint PFN zones, each with its own first-fit
+allocator, because the paper pins every enclave to a single NUMA socket
+(§5.1) and Pisces partitions memory *blocks* between enclaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hw.costs import PAGE_4K
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when a frame allocation cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class FrameRange:
+    """A physically contiguous run of 4 KiB frames."""
+
+    start_pfn: int
+    nframes: int
+
+    def __post_init__(self):
+        if self.nframes <= 0:
+            raise ValueError(f"empty frame range at pfn {self.start_pfn}")
+        if self.start_pfn < 0:
+            raise ValueError(f"negative pfn {self.start_pfn}")
+
+    @property
+    def end_pfn(self) -> int:
+        """One past the last frame of the run."""
+        return self.start_pfn + self.nframes
+
+    @property
+    def nbytes(self) -> int:
+        return self.nframes * PAGE_4K
+
+    def pfns(self) -> np.ndarray:
+        """The run's frame numbers as an int64 array."""
+        return np.arange(self.start_pfn, self.end_pfn, dtype=np.int64)
+
+    def overlaps(self, other: "FrameRange") -> bool:
+        """True when the two runs share any frame."""
+        return self.start_pfn < other.end_pfn and other.start_pfn < self.end_pfn
+
+
+def ranges_to_pfns(ranges: Sequence[FrameRange]) -> np.ndarray:
+    """Flatten contiguous ranges into a PFN array, preserving order."""
+    if not ranges:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate([r.pfns() for r in ranges])
+
+
+def pfns_to_ranges(pfns: np.ndarray) -> List[FrameRange]:
+    """Coalesce a PFN array back into maximal contiguous runs."""
+    if len(pfns) == 0:
+        return []
+    pfns = np.asarray(pfns, dtype=np.int64)
+    breaks = np.flatnonzero(np.diff(pfns) != 1) + 1
+    out: List[FrameRange] = []
+    start = 0
+    for b in list(breaks) + [len(pfns)]:
+        out.append(FrameRange(int(pfns[start]), int(b - start)))
+        start = b
+    return out
+
+
+class FrameAllocator:
+    """First-fit allocator over a contiguous PFN window.
+
+    Keeps an ordered free list of ``[start, end)`` runs. ``alloc`` returns
+    contiguous ranges when possible; ``alloc_scattered`` deliberately caps
+    run length to produce the fragmented frame lists whose mapping cost the
+    paper analyses in §5.4.
+    """
+
+    def __init__(self, start_pfn: int, nframes: int):
+        if nframes <= 0:
+            raise ValueError("allocator needs at least one frame")
+        self.start_pfn = start_pfn
+        self.nframes = nframes
+        self._free: List[List[int]] = [[start_pfn, start_pfn + nframes]]
+
+    @property
+    def free_frames(self) -> int:
+        """Frames currently free in this allocator."""
+        return sum(end - start for start, end in self._free)
+
+    @property
+    def used_frames(self) -> int:
+        """Frames currently allocated from this allocator."""
+        return self.nframes - self.free_frames
+
+    def alloc(self, nframes: int) -> FrameRange:
+        """Allocate one physically contiguous run of ``nframes``."""
+        if nframes <= 0:
+            raise ValueError(f"bad allocation size {nframes}")
+        for i, (start, end) in enumerate(self._free):
+            if end - start >= nframes:
+                self._free[i][0] = start + nframes
+                if self._free[i][0] == self._free[i][1]:
+                    del self._free[i]
+                return FrameRange(start, nframes)
+        raise OutOfMemoryError(
+            f"no contiguous run of {nframes} frames "
+            f"({self.free_frames} free, fragmented into {len(self._free)} runs)"
+        )
+
+    def alloc_pages(self, nframes: int, max_run: Optional[int] = None) -> List[FrameRange]:
+        """Allocate ``nframes`` as a list of runs, first-fit, possibly split.
+
+        ``max_run`` caps each run's length (``alloc_scattered`` passes 1 to
+        produce fully discontiguous lists).
+        """
+        if nframes <= 0:
+            raise ValueError(f"bad allocation size {nframes}")
+        if self.free_frames < nframes:
+            raise OutOfMemoryError(
+                f"need {nframes} frames, only {self.free_frames} free"
+            )
+        got: List[FrameRange] = []
+        remaining = nframes
+        while remaining > 0:
+            start, end = self._free[0]
+            take = min(remaining, end - start)
+            if max_run is not None:
+                take = min(take, max_run)
+            self._free[0][0] = start + take
+            if self._free[0][0] == self._free[0][1]:
+                del self._free[0]
+            got.append(FrameRange(start, take))
+            remaining -= take
+        return got
+
+    def alloc_scattered(self, nframes: int) -> List[FrameRange]:
+        """Allocate ``nframes`` pairwise *non-adjacent* frames.
+
+        Models the paper's §4.4 observation that host frames pinned for
+        XEMEM "are not guaranteed to be contiguous": a hole is left after
+        every allocated frame (by allocating in pairs and returning the
+        second frame of each), so downstream run-coalescing sees one run
+        per page. Falls back to plain single-frame allocation when memory
+        is too tight for holes.
+        """
+        if nframes <= 0:
+            raise ValueError(f"bad allocation size {nframes}")
+        if self.free_frames < 2 * nframes:
+            return self.alloc_pages(nframes, max_run=1)
+        pairs = self.alloc_pages(2 * nframes, max_run=2)
+        got: List[FrameRange] = []
+        holes: List[FrameRange] = []
+        for rng in pairs:
+            if len(got) < nframes:
+                got.append(FrameRange(rng.start_pfn, 1))
+                if rng.nframes == 2:
+                    holes.append(FrameRange(rng.start_pfn + 1, 1))
+            else:
+                holes.append(rng)
+        for hole in holes:
+            self.free(hole)
+        return got
+
+    def free(self, rng: FrameRange) -> None:
+        """Return a range to the free list, coalescing neighbours."""
+        if rng.start_pfn < self.start_pfn or rng.end_pfn > self.start_pfn + self.nframes:
+            raise ValueError(f"range {rng} outside allocator window")
+        new = [rng.start_pfn, rng.end_pfn]
+        # insert sorted by start
+        lo = 0
+        for i, (start, _end) in enumerate(self._free):
+            if start > new[0]:
+                break
+            lo = i + 1
+        # overlap checks against neighbours
+        if lo > 0 and self._free[lo - 1][1] > new[0]:
+            raise ValueError(f"double free of frames near pfn {rng.start_pfn}")
+        if lo < len(self._free) and self._free[lo][0] < new[1]:
+            raise ValueError(f"double free of frames near pfn {rng.start_pfn}")
+        self._free.insert(lo, new)
+        self._coalesce(lo)
+
+    def free_all(self, ranges: Iterable[FrameRange]) -> None:
+        """Free every range in the iterable."""
+        for rng in ranges:
+            self.free(rng)
+
+    def _coalesce(self, i: int) -> None:
+        # merge with next
+        if i + 1 < len(self._free) and self._free[i][1] == self._free[i + 1][0]:
+            self._free[i][1] = self._free[i + 1][1]
+            del self._free[i + 1]
+        # merge with previous
+        if i > 0 and self._free[i - 1][1] == self._free[i][0]:
+            self._free[i - 1][1] = self._free[i][1]
+            del self._free[i]
+
+
+class NumaZone:
+    """A NUMA socket's memory: a PFN window plus its allocator."""
+
+    def __init__(self, zone_id: int, start_pfn: int, nframes: int):
+        self.zone_id = zone_id
+        self.start_pfn = start_pfn
+        self.nframes = nframes
+        self.allocator = FrameAllocator(start_pfn, nframes)
+
+    @property
+    def nbytes(self) -> int:
+        return self.nframes * PAGE_4K
+
+    def contains_pfn(self, pfn: int) -> bool:
+        """True when ``pfn`` belongs to this NUMA zone."""
+        return self.start_pfn <= pfn < self.start_pfn + self.nframes
+
+    def __repr__(self) -> str:
+        return (
+            f"NumaZone(id={self.zone_id}, pfns=[{self.start_pfn},"
+            f"{self.start_pfn + self.nframes}), free={self.allocator.free_frames})"
+        )
+
+
+class PhysicalMemory:
+    """All RAM of one node: the backing store plus NUMA zones.
+
+    The backing store is *sparse*: a frame's 4 KiB array materializes on
+    first touch (hardware zero-fills, so untouched frames read as zeros).
+    This lets the simulator model 32 GB nodes without allocating 32 GB of
+    host RAM, while preserving the aliasing property: every
+    :meth:`frame_view` of the same PFN returns the same mutable array.
+    """
+
+    def __init__(self, zone_bytes: Sequence[int]):
+        if not zone_bytes:
+            raise ValueError("need at least one NUMA zone")
+        for nb in zone_bytes:
+            if nb <= 0 or nb % PAGE_4K != 0:
+                raise ValueError(f"zone size must be a positive page multiple: {nb}")
+        self.total_bytes = int(sum(zone_bytes))
+        self._frames: dict = {}
+        self.zones: List[NumaZone] = []
+        pfn = 0
+        for zid, nb in enumerate(zone_bytes):
+            nframes = nb // PAGE_4K
+            self.zones.append(NumaZone(zid, pfn, nframes))
+            pfn += nframes
+        self.total_frames = pfn
+
+    @property
+    def resident_frames(self) -> int:
+        """Number of frames actually materialized in host memory."""
+        return len(self._frames)
+
+    def zone(self, zone_id: int) -> NumaZone:
+        """The NUMA zone with the given id."""
+        return self.zones[zone_id]
+
+    def zone_of_pfn(self, pfn: int) -> NumaZone:
+        """The NUMA zone containing ``pfn``."""
+        for z in self.zones:
+            if z.contains_pfn(pfn):
+                return z
+        raise ValueError(f"pfn {pfn} outside physical memory")
+
+    def frame_view(self, pfn: int) -> np.ndarray:
+        """The writable 4096-byte array backing one frame (lazily created)."""
+        if not 0 <= pfn < self.total_frames:
+            raise ValueError(f"pfn {pfn} outside physical memory")
+        frame = self._frames.get(pfn)
+        if frame is None:
+            frame = self._frames[pfn] = np.zeros(PAGE_4K, dtype=np.uint8)
+        return frame
+
+    def map_region(self, pfns: np.ndarray) -> "MappedRegion":
+        """A MappedRegion viewing the given ordered frame list."""
+        return MappedRegion(self, np.asarray(pfns, dtype=np.int64))
+
+
+class MappedRegion:
+    """User-visible window onto an ordered list of frames.
+
+    Byte ``i`` of the region lives in frame ``pfns[i // 4096]`` at offset
+    ``i % 4096``. Reads and writes hit the node's single backing store, so
+    two regions over the same frames alias — that *is* shared memory.
+    """
+
+    def __init__(self, mem: PhysicalMemory, pfns: np.ndarray):
+        if len(pfns) == 0:
+            raise ValueError("empty mapping")
+        if pfns.min() < 0 or pfns.max() >= mem.total_frames:
+            raise ValueError("mapping references frames outside physical memory")
+        self.mem = mem
+        self.pfns = pfns.astype(np.int64, copy=True)
+        self.nbytes = len(pfns) * PAGE_4K
+
+    @property
+    def npages(self) -> int:
+        """Pages in the mapping."""
+        return len(self.pfns)
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.nbytes:
+            raise ValueError(
+                f"access [{offset}, {offset + length}) outside region of {self.nbytes} bytes"
+            )
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Scatter ``data`` into the region starting at ``offset``."""
+        self._check(offset, len(data))
+        src = np.frombuffer(data, dtype=np.uint8)
+        pos = 0
+        while pos < len(data):
+            page = (offset + pos) // PAGE_4K
+            in_page = (offset + pos) % PAGE_4K
+            take = min(len(data) - pos, PAGE_4K - in_page)
+            frame = self.mem.frame_view(int(self.pfns[page]))
+            frame[in_page : in_page + take] = src[pos : pos + take]
+            pos += take
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Gather ``length`` bytes starting at ``offset``."""
+        self._check(offset, length)
+        out = np.empty(length, dtype=np.uint8)
+        pos = 0
+        while pos < length:
+            page = (offset + pos) // PAGE_4K
+            in_page = (offset + pos) % PAGE_4K
+            take = min(length - pos, PAGE_4K - in_page)
+            frame = self.mem.frame_view(int(self.pfns[page]))
+            out[pos : pos + take] = frame[in_page : in_page + take]
+            pos += take
+        return out.tobytes()
+
+    def page_view(self, index: int) -> np.ndarray:
+        """Writable view of page ``index`` of the region."""
+        if not 0 <= index < self.npages:
+            raise ValueError(f"page {index} outside region of {self.npages} pages")
+        return self.mem.frame_view(int(self.pfns[index]))
+
+    def as_array(self) -> np.ndarray:
+        """Gather the whole region into one contiguous array (a copy)."""
+        return np.concatenate([self.page_view(i) for i in range(self.npages)])
+
+    def fill(self, value: int) -> None:
+        """Set every byte of the region to ``value``."""
+        for i in range(self.npages):
+            self.page_view(i)[:] = value
+
+    def checksum(self) -> int:
+        """Order-sensitive checksum of the region contents (for tests)."""
+        total = 0
+        for i in range(self.npages):
+            page = self.page_view(i).astype(np.uint64)
+            weights = np.arange(1, len(page) + 1, dtype=np.uint64) + np.uint64(i)
+            total = (total + int((page * weights).sum())) % (2**61 - 1)
+        return total

@@ -1,0 +1,181 @@
+"""Node topology: sockets, cores, hyperthreads, and whole-node assembly.
+
+Two concrete specs mirror the paper's testbeds:
+
+* :data:`R420_SPEC` — Dell PowerEdge R420: 2 sockets × 6 cores × 2 HT = 24
+  hardware threads, 2 × 16 GB NUMA (§5.1, §7.1).
+* :data:`OPTIPLEX_SPEC` — Dell OptiPlex: 1 socket × 4 cores × 2 HT = 8
+  hardware threads, 1 × 8 GB (§6.3).
+
+A :class:`Core` is a hardware thread. It carries a contention
+:class:`~repro.sim.resources.Resource` (capacity 1) and a *steal log* of
+``(start_ns, duration_ns, tag)`` intervals during which something other
+than the running application held the core — noise daemons, interrupt
+handlers, XEMEM attachment service. The Selfish Detour benchmark (Fig. 7)
+reads this log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hw.costs import CostModel, DEFAULT_COSTS, GB
+from repro.hw.memory import PhysicalMemory
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of a node's hardware."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    memory_per_socket_bytes: int
+    cpu_ghz: float
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads on the node."""
+        return self.sockets * self.cores_per_socket * self.threads_per_core
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Total RAM across sockets."""
+        return self.sockets * self.memory_per_socket_bytes
+
+
+R420_SPEC = NodeSpec(
+    name="PowerEdge-R420",
+    sockets=2,
+    cores_per_socket=6,
+    threads_per_core=2,
+    memory_per_socket_bytes=16 * GB,
+    cpu_ghz=2.10,
+)
+
+OPTIPLEX_SPEC = NodeSpec(
+    name="OptiPlex",
+    sockets=1,
+    cores_per_socket=4,
+    threads_per_core=2,
+    memory_per_socket_bytes=8 * GB,
+    cpu_ghz=3.40,
+)
+
+
+class Core:
+    """One hardware thread."""
+
+    def __init__(self, engine: Engine, core_id: int, socket_id: int):
+        self.engine = engine
+        self.core_id = core_id
+        self.socket_id = socket_id
+        #: Which enclave currently owns this core (set by Pisces).
+        self.owner: Optional[object] = None
+        #: Contention resource: kernel handlers and app threads serialize here.
+        self.resource = Resource(engine, capacity=1, name=f"core{core_id}")
+        #: Intervals stolen from the application: (start_ns, duration_ns, tag).
+        self.steal_log: List[Tuple[int, int, str]] = []
+
+    def log_steal(self, start_ns: int, duration_ns: int, tag: str) -> None:
+        """Record an interval stolen from the application on this core."""
+        if duration_ns < 0:
+            raise ValueError(f"negative steal duration {duration_ns}")
+        self.steal_log.append((start_ns, duration_ns, tag))
+
+    def occupy(self, duration_ns: int, tag: str):
+        """Generator: hold the core for ``duration_ns`` and log the steal."""
+        yield self.resource.acquire()
+        start = self.engine.now
+        try:
+            yield self.engine.sleep(duration_ns)
+        finally:
+            self.resource.release()
+        self.log_steal(start, duration_ns, tag)
+
+    def stolen_between(self, t0: int, t1: int, tags: Optional[Sequence[str]] = None) -> int:
+        """Total stolen nanoseconds overlapping window [t0, t1)."""
+        total = 0
+        for start, dur, tag in self.steal_log:
+            if tags is not None and tag not in tags:
+                continue
+            lo = max(start, t0)
+            hi = min(start + dur, t1)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def __repr__(self) -> str:
+        return f"Core({self.core_id}, socket={self.socket_id}, owner={self.owner!r})"
+
+
+class Socket:
+    """A CPU socket: a set of cores plus its NUMA zone id."""
+
+    def __init__(self, socket_id: int, cores: List[Core]):
+        self.socket_id = socket_id
+        self.cores = cores
+
+    @property
+    def zone_id(self) -> int:
+        """The NUMA zone this socket's memory lives in."""
+        return self.socket_id
+
+
+class NodeHardware:
+    """A fully assembled node: engine, memory, cores, cost model.
+
+    This is the root object every enclave on a node hangs off.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec: NodeSpec = R420_SPEC,
+        costs: Optional[CostModel] = None,
+        node_id: int = 0,
+    ):
+        self.engine = engine
+        self.spec = spec
+        self.costs = costs or DEFAULT_COSTS
+        self.node_id = node_id
+        self.memory = PhysicalMemory(
+            [spec.memory_per_socket_bytes] * spec.sockets
+        )
+        self.cores: List[Core] = []
+        self.sockets: List[Socket] = []
+        cid = 0
+        for sid in range(spec.sockets):
+            socket_cores = []
+            for _ in range(spec.cores_per_socket * spec.threads_per_core):
+                core = Core(engine, cid, sid)
+                self.cores.append(core)
+                socket_cores.append(core)
+                cid += 1
+            self.sockets.append(Socket(sid, socket_cores))
+        # Interrupt controller is attached lazily to avoid an import cycle.
+        from repro.hw.interrupts import InterruptController
+
+        self.intc = InterruptController(engine, self)
+
+    def core(self, core_id: int) -> Core:
+        """The Core with the given global id."""
+        return self.cores[core_id]
+
+    def socket_cores(self, socket_id: int) -> List[Core]:
+        """All hardware threads of one socket."""
+        return self.sockets[socket_id].cores
+
+    def free_cores(self) -> List[Core]:
+        """Cores not yet owned by any enclave."""
+        return [c for c in self.cores if c.owner is None]
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeHardware(node={self.node_id}, spec={self.spec.name}, "
+            f"cores={len(self.cores)}, mem={self.memory.total_bytes // GB}GB)"
+        )

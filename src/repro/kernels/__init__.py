@@ -1,0 +1,52 @@
+"""Enclave operating systems: page tables, address spaces, Linux, Kitten.
+
+Each enclave runs one kernel model. Kernels own a slice of the node's
+cores and one NUMA zone's frames (Pisces hands these out), manage real
+4-level page tables for their processes, and expose the memory-mapping
+services the XEMEM module needs (paper §4.3):
+
+* page-table walks that generate PFN lists for exported segments, and
+* mapping routines that install remote PFN lists into local processes.
+
+The two concrete kernels differ exactly where the paper says they do:
+Linux pins with ``get_user_pages``, maps with ``vm_mmap`` +
+``remap_pfn_range``, demand-pages *local* attachments (the Fig. 8(b)
+recurring-attach penalty) and has a fullweight noise profile; Kitten maps
+every region statically at process creation, shares local memory via
+SMARTMAP, needed a *dynamic heap expansion* extension to host remote
+mappings, and is almost noise-free.
+"""
+
+from repro.kernels.pagetable import (
+    PageTable,
+    PageFault,
+    PTE_PRESENT,
+    PTE_WRITABLE,
+    PTE_USER,
+    PTE_PINNED,
+)
+from repro.kernels.addrspace import AddressSpace, Region, RegionKind
+from repro.kernels.process import OSProcess
+from repro.kernels.base import KernelBase
+from repro.kernels.linux import LinuxKernel
+from repro.kernels.kitten import KittenKernel
+from repro.kernels.noise import NoiseSource, PeriodicNoise, attach_noise_profile
+
+__all__ = [
+    "PageTable",
+    "PageFault",
+    "PTE_PRESENT",
+    "PTE_WRITABLE",
+    "PTE_USER",
+    "PTE_PINNED",
+    "AddressSpace",
+    "Region",
+    "RegionKind",
+    "OSProcess",
+    "KernelBase",
+    "LinuxKernel",
+    "KittenKernel",
+    "NoiseSource",
+    "PeriodicNoise",
+    "attach_noise_profile",
+]

@@ -1,0 +1,199 @@
+"""Virtual address space layout: regions (VMAs) over a page table.
+
+A :class:`Region` is the kernel's bookkeeping for a virtual range — kind,
+permissions, and (for lazily-populated Linux VMAs) which pages have been
+faulted in. The :class:`AddressSpace` owns the region list, a free-range
+finder, and the process's :class:`~repro.kernels.pagetable.PageTable`.
+
+Region kinds matter to the paper:
+
+* ``STATIC`` — Kitten maps heap/stack/text to physical memory at process
+  creation (§4.3); these never fault.
+* ``LAZY`` — Linux VMAs populate on first touch; single-OS XEMEM
+  attachments are LAZY, which is where Fig. 8(b)'s recurring-attachment
+  overhead comes from.
+* ``EAGER`` — cross-enclave attachments install every PTE from the remote
+  PFN list up front (they must: the frames belong to another kernel).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.kernels.pagetable import (
+    PAGE_SIZE,
+    PageTable,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+    USER_VA_LIMIT,
+)
+
+
+class RegionKind(enum.Enum):
+    """How a region populates: STATIC, LAZY (demand-paged), or EAGER."""
+    STATIC = "static"  # mapped fully at creation (Kitten)
+    LAZY = "lazy"      # demand-paged (Linux anonymous/local-attach)
+    EAGER = "eager"    # mapped fully at attach time (cross-enclave)
+
+
+class Region:
+    """One virtual memory area."""
+
+    def __init__(self, start: int, npages: int, kind: RegionKind, name: str = ""):
+        if start % PAGE_SIZE:
+            raise ValueError(f"region start {start:#x} not page aligned")
+        if npages <= 0:
+            raise ValueError(f"empty region {name!r}")
+        self.start = start
+        self.npages = npages
+        self.kind = kind
+        self.name = name
+        #: Pages actually populated (LAZY regions fault these in one by one).
+        self.populated = 0
+        #: For LAZY regions whose frames are predetermined (local XEMEM
+        #: attachments): page i faults in ``backing_pfns[i]``. None means
+        #: anonymous memory — the kernel allocates a frame at fault time.
+        self.backing_pfns = None
+
+    @property
+    def end(self) -> int:
+        return self.start + self.npages * PAGE_SIZE
+
+    @property
+    def nbytes(self) -> int:
+        return self.npages * PAGE_SIZE
+
+    def contains(self, vaddr: int) -> bool:
+        """True when ``vaddr`` falls inside the region."""
+        return self.start <= vaddr < self.end
+
+    def page_index(self, vaddr: int) -> int:
+        """Zero-based page index of ``vaddr`` within the region."""
+        if not self.contains(vaddr):
+            raise ValueError(f"{vaddr:#x} outside region {self.name!r}")
+        return (vaddr - self.start) // PAGE_SIZE
+
+    def __repr__(self) -> str:
+        return (
+            f"Region({self.name!r}, [{self.start:#x}, {self.end:#x}), "
+            f"{self.kind.value}, {self.populated}/{self.npages} populated)"
+        )
+
+
+class AddressSpace:
+    """Region list + page table for one process."""
+
+    #: Default base for mmap-style allocations.
+    MMAP_BASE = 0x7F00_0000_0000
+    #: Kitten confines ordinary regions to PML4 slot 0 so SMARTMAP slots
+    #: stay free; slot 0 spans [0, 1<<39).
+    SLOT0_LIMIT = 1 << 39
+
+    def __init__(self, va_limit: int = USER_VA_LIMIT):
+        self.table = PageTable()
+        self.regions: List[Region] = []
+        self.va_limit = va_limit
+
+    # -- region management ------------------------------------------------------
+
+    def add_region(self, start: int, npages: int, kind: RegionKind, name: str = "") -> Region:
+        """Insert a non-overlapping region; returns it."""
+        region = Region(start, npages, kind, name)
+        if region.end > self.va_limit:
+            raise ValueError(f"region {name!r} exceeds VA limit {self.va_limit:#x}")
+        for other in self.regions:
+            if region.start < other.end and other.start < region.end:
+                raise ValueError(f"region {name!r} overlaps {other.name!r}")
+        self.regions.append(region)
+        self.regions.sort(key=lambda r: r.start)
+        return region
+
+    def remove_region(self, region: Region) -> None:
+        """Drop a region from the list (page table untouched)."""
+        self.regions.remove(region)
+
+    def find_region(self, vaddr: int) -> Optional[Region]:
+        """The region containing ``vaddr``, or None."""
+        for region in self.regions:
+            if region.contains(vaddr):
+                return region
+        return None
+
+    def find_free(self, npages: int, base: Optional[int] = None, limit: Optional[int] = None) -> int:
+        """First-fit search for an unused virtual range of ``npages``."""
+        if npages <= 0:
+            raise ValueError(f"bad size {npages}")
+        base = self.MMAP_BASE if base is None else base
+        limit = self.va_limit if limit is None else limit
+        need = npages * PAGE_SIZE
+        cursor = base
+        for region in self.regions:
+            if region.end <= cursor:
+                continue
+            if region.start >= cursor + need:
+                break
+            cursor = max(cursor, region.end)
+        if cursor + need > limit:
+            raise MemoryError(
+                f"no free virtual range of {npages} pages in [{base:#x}, {limit:#x})"
+            )
+        return cursor
+
+    # -- population ---------------------------------------------------------------
+
+    def map_region_pfns(self, region: Region, pfns: np.ndarray,
+                        flags: int = PTE_PRESENT | PTE_WRITABLE | PTE_USER) -> None:
+        """Back the whole region with ``pfns`` (STATIC/EAGER population)."""
+        if len(pfns) != region.npages:
+            raise ValueError(
+                f"region {region.name!r} has {region.npages} pages, got {len(pfns)} pfns"
+            )
+        self.table.map_range(region.start, pfns, flags)
+        region.populated = region.npages
+
+    def populate_page(self, region: Region, vaddr: int, pfn: int,
+                      flags: int = PTE_PRESENT | PTE_WRITABLE | PTE_USER) -> None:
+        """Fault one page of a LAZY region in."""
+        if region.kind is not RegionKind.LAZY:
+            raise ValueError(f"populate_page on non-LAZY region {region.name!r}")
+        region.page_index(vaddr)  # bounds check
+        self.table.map_page(vaddr & ~(PAGE_SIZE - 1), pfn, flags)
+        region.populated += 1
+
+    def unmap_region(self, region: Region) -> np.ndarray:
+        """Tear down a fully-populated region; returns its PFNs."""
+        if region.populated != region.npages:
+            raise ValueError(
+                f"unmap_region on partially populated {region.name!r}; "
+                "use unmap_populated_pages"
+            )
+        pfns = self.table.unmap_range(region.start, region.npages)
+        self.remove_region(region)
+        return pfns
+
+    def unmap_populated_pages(self, region: Region) -> np.ndarray:
+        """Tear down whatever pages of the region are present (LAZY teardown)."""
+        from repro.kernels.pagetable import PageFault
+
+        got = []
+        for i in range(region.npages):
+            va = region.start + i * PAGE_SIZE
+            try:
+                got.append(self.table.unmap_page(va))
+            except PageFault:
+                continue
+        self.remove_region(region)
+        return np.array(got, dtype=np.int64)
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def total_mapped_pages(self) -> int:
+        """Present PTE count across the whole address space."""
+        return self.table.present_pages
+
+    def __repr__(self) -> str:
+        return f"AddressSpace({len(self.regions)} regions, {self.table.present_pages} pages)"

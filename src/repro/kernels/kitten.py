@@ -1,0 +1,161 @@
+"""The Kitten lightweight-kernel model.
+
+Kitten's defining behaviours, per the paper (§4, §4.3):
+
+* **Static address spaces** — every region (text, heap, stack) is mapped
+  to physical memory at process creation; there is no demand paging and
+  originally no way to grow a region.
+* **SMARTMAP** for local shared memory — processes share entire address
+  spaces by aliasing each other's page-table root into a spare top-level
+  (PML4) slot; process *p*'s view of process *q*'s address ``va`` is
+  ``((q_rank + 1) << 39) | va``.
+* **Dynamic heap expansion** — the paper's Kitten extension: a process
+  can map a *remote* PFN list into fresh virtual space above its heap
+  without disturbing SMARTMAP or the static regions. :meth:`map_remote_pfns`
+  implements it.
+* **Noise-free execution** — no timer ticks or daemons; the only noise is
+  the hardware baseline and SMIs (Fig. 7), wired up in
+  :mod:`repro.kernels.noise`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.topology import Core
+from repro.kernels.addrspace import Region, RegionKind
+from repro.kernels.base import KernelBase, KernelError
+from repro.kernels.pagetable import PAGE_SIZE, PML4_SLOT_SPAN
+from repro.kernels.process import OSProcess
+
+#: Default static layout (page counts).
+TEXT_PAGES = 16
+STACK_PAGES = 256          # 1 MiB
+DEFAULT_HEAP_PAGES = 1024  # 4 MiB
+
+TEXT_BASE = 0x0000_0040_0000    # 4 MiB
+HEAP_BASE = 0x0000_1000_0000    # 256 MiB
+STACK_TOP = 0x0000_7FFF_F000    # just under 2 GiB, inside PML4 slot 0
+
+
+class KittenKernel(KernelBase):
+    """The Kitten lightweight enclave kernel (see module docstring)."""
+    kernel_type = "kitten"
+
+    def __init__(self, *args, heap_pages: int = DEFAULT_HEAP_PAGES, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.heap_pages = heap_pages
+        #: Per-pid allocator over the dynamic area's *virtual* pages
+        #: (between the heap end and the stack guard), so detached
+        #: regions' address space is recycled.
+        self._dyn_va = {}
+
+    # -- static process creation ------------------------------------------------------
+
+    def _on_process_created(self, proc: OSProcess) -> None:
+        """Map text, heap, and stack statically, all inside PML4 slot 0."""
+        aspace = proc.aspace
+        for base, npages, name in (
+            (TEXT_BASE, TEXT_PAGES, "text"),
+            (HEAP_BASE, self.heap_pages, "heap"),
+            (STACK_TOP - STACK_PAGES * PAGE_SIZE, STACK_PAGES, "stack"),
+        ):
+            region = aspace.add_region(base, npages, RegionKind.STATIC, name)
+            aspace.map_region_pfns(region, self.alloc_pfns(npages))
+        dyn_start_page = (HEAP_BASE + self.heap_pages * PAGE_SIZE) // PAGE_SIZE
+        dyn_end_page = (STACK_TOP - STACK_PAGES * PAGE_SIZE) // PAGE_SIZE
+        from repro.hw.memory import FrameAllocator
+
+        # page-numbered VA allocator for the dynamic expansion area
+        self._dyn_va[proc.pid] = FrameAllocator(
+            dyn_start_page, dyn_end_page - dyn_start_page
+        )
+
+    def heap_region(self, proc: OSProcess) -> Region:
+        """The process's statically mapped heap region."""
+        self._own_process(proc)
+        for region in proc.aspace.regions:
+            if region.name == "heap":
+                return region
+        raise KernelError(f"{proc!r} has no heap")
+
+    # -- SMARTMAP (local shared memory) --------------------------------------------------
+
+    @staticmethod
+    def smartmap_slot(donor_pid: int) -> int:
+        """SMARTMAP uses PML4 slot ``rank + 1`` for each local process."""
+        slot = donor_pid + 1
+        if not 1 <= slot < 256:
+            raise KernelError(f"pid {donor_pid} has no SMARTMAP slot")
+        return slot
+
+    def smartmap_attach(self, attacher: OSProcess, donor: OSProcess) -> int:
+        """Alias ``donor``'s whole address space into ``attacher``.
+
+        Returns the base such that ``base | donor_va`` addresses the
+        donor's ``donor_va``. Pure page-table-root sharing — O(1), no
+        per-page work; this is why SMARTMAP is fast but single-OS-only.
+        """
+        self._own_process(attacher)
+        self._own_process(donor)
+        slot = self.smartmap_slot(donor.pid)
+        attacher.aspace.table.share_pml4_slot(slot, donor.aspace.table)
+        return slot * PML4_SLOT_SPAN
+
+    def smartmap_detach(self, attacher: OSProcess, donor: OSProcess) -> None:
+        """Drop the SMARTMAP alias of ``donor`` from ``attacher``."""
+        self._own_process(attacher)
+        attacher.aspace.table.unshare_pml4_slot(self.smartmap_slot(donor.pid))
+
+    def smartmap_address(self, donor: OSProcess, donor_va: int) -> int:
+        """The address at which attachers see ``donor_va`` of ``donor``."""
+        return self.smartmap_slot(donor.pid) * PML4_SLOT_SPAN + donor_va
+
+    # -- dynamic heap expansion (the paper's Kitten extension) -----------------------------
+
+    def expand_heap(self, proc: OSProcess, npages: int, name: str = "dyn") -> Region:
+        """Carve virtual space above the heap for a remote mapping.
+
+        Keeps everything inside PML4 slot 0 so SMARTMAP slots stay free
+        and the static regions are untouched (paper §4.3). Detached
+        regions' address space is recycled via :meth:`unmap_attachment`.
+        """
+        self._own_process(proc)
+        from repro.hw.memory import OutOfMemoryError
+
+        try:
+            va_run = self._dyn_va[proc.pid].alloc(npages)
+        except OutOfMemoryError as err:
+            raise MemoryError(
+                f"dynamic region of {npages} pages does not fit between the "
+                f"heap and the stack"
+            ) from err
+        base = va_run.start_pfn * PAGE_SIZE
+        region = proc.aspace.add_region(base, npages, RegionKind.EAGER, name)
+        return region
+
+    def unmap_attachment(self, proc: OSProcess, region: Region):
+        """Generator: tear down an attachment and recycle its VA space."""
+        start_page = region.start // PAGE_SIZE
+        npages = region.npages
+        pfns = yield from super().unmap_attachment(proc, region)
+        dyn = self._dyn_va.get(proc.pid)
+        if dyn is not None and dyn.start_pfn <= start_page < dyn.start_pfn + dyn.nframes:
+            from repro.hw.memory import FrameRange
+
+            dyn.free(FrameRange(start_page, npages))
+        return pfns
+
+    def map_remote_pfns(self, proc: OSProcess, pfns: np.ndarray, name: str = "xemem-att",
+                        core: Optional[Core] = None,
+                        extra_per_page_ns: int = 0):
+        """Generator: map a remote PFN list via dynamic heap expansion."""
+        self._own_process(proc)
+        region = self.expand_heap(proc, len(pfns), name)
+        core = core or self.service_core
+        install_ns = len(pfns) * (self.costs.map_install_per_page_ns + extra_per_page_ns)
+        yield from core.occupy(install_ns, f"xemem-map:{len(pfns)}p")
+        proc.aspace.map_region_pfns(region, pfns)
+        return region

@@ -1,0 +1,224 @@
+"""The Linux fullweight-kernel model.
+
+Implements the paper's §4.3 Linux memory-mapping routines:
+
+* ``get_user_pages`` — fault in (if needed) and pin an exporting process's
+  pages so they cannot be reclaimed while a remote enclave maps them, then
+  walk the page table to build the PFN list.
+* ``vm_mmap`` + ``remap_pfn_range`` — carve a fresh VMA and eagerly
+  install a remote enclave's PFN list into it.
+
+It also implements the *local* (single-OS) XEMEM attachment path the
+paper's Fig. 8(b) analysis depends on: local attachments create a LAZY
+VMA over the exporter's frames and populate it one page fault at a time,
+so a recurring-attachment workload pays
+``linux_page_fault_ns × pages_touched`` at every communication interval.
+
+Map updates contend on a kernel-global lock (the paper's §5.3 points at
+"contention for Linux data structures that are accessed when multiple
+processes concurrently update memory maps").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.topology import Core
+from repro.kernels.addrspace import Region, RegionKind
+from repro.kernels.base import KernelBase, KernelError
+from repro.kernels.pagetable import PAGE_SIZE, PageFault, PTE_PINNED
+from repro.kernels.process import OSProcess
+from repro.sim.resources import Mutex
+
+
+class LinuxKernel(KernelBase):
+    """The fullweight Linux enclave kernel (see module docstring)."""
+    kernel_type = "linux"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: Global memory-map update lock (mmap_sem-ish; source of the
+        #: multi-process map-update contention the paper mentions).
+        self.map_lock = Mutex(self.engine, name=f"{self.name}.map_lock")
+        self.fault_count = 0
+        self.gup_pinned_pages = 0
+
+    # -- anonymous memory -------------------------------------------------------------
+
+    def mmap_anonymous(self, proc: OSProcess, nbytes: int, name: str = "anon"):
+        """Generator: create a demand-paged anonymous VMA (malloc backing)."""
+        self._own_process(proc)
+        npages = -(-nbytes // PAGE_SIZE)
+        yield self.engine.sleep(self.costs.vm_mmap_fixed_ns)
+        vaddr = proc.aspace.find_free(npages)
+        region = proc.aspace.add_region(vaddr, npages, RegionKind.LAZY, name)
+        return region
+
+    def handle_fault(self, proc: OSProcess, vaddr: int, core: Optional[Core] = None):
+        """Generator: demand-paging fault service for one page."""
+        self._own_process(proc)
+        region = proc.aspace.find_region(vaddr)
+        if region is None:
+            raise PageFault(vaddr)
+        if region.kind is not RegionKind.LAZY:
+            raise KernelError(f"fault in non-LAZY region {region.name!r} at {vaddr:#x}")
+        core = core or self.node.core(proc.core_id)
+        yield from core.occupy(self.costs.linux_page_fault_ns, "pgfault")
+        page = region.page_index(vaddr)
+        if region.backing_pfns is not None:
+            pfn = int(region.backing_pfns[page])
+        else:
+            pfn = int(self.alloc_pfns(1)[0])
+        proc.aspace.populate_page(region, vaddr & ~(PAGE_SIZE - 1), pfn)
+        self.fault_count += 1
+        return pfn
+
+    def _bulk_fault(self, proc: OSProcess, region: Region, core: Optional[Core] = None):
+        """Generator: fault a whole untouched LAZY region in at once.
+
+        Semantically identical to ``region.npages`` single faults (same
+        total cost, same final page table), but vectorized so large
+        regions stay simulable.
+        """
+        if region.populated != 0:
+            raise KernelError(f"bulk fault on partially populated {region.name!r}")
+        core = core or self.node.core(proc.core_id)
+        yield from core.occupy(
+            region.npages * self.costs.linux_page_fault_ns, "pgfault-bulk"
+        )
+        if region.backing_pfns is not None:
+            pfns = region.backing_pfns
+        else:
+            pfns = self.alloc_pfns(region.npages)
+        proc.aspace.map_region_pfns(region, pfns)
+        self.fault_count += region.npages
+        return region.npages
+
+    def touch_pages(self, proc: OSProcess, vaddr: int, npages: int, write: bool = False):
+        """Generator: touch pages, servicing demand-paging faults as hit.
+
+        Fast paths: a fully populated range costs one vectorized check; a
+        completely unpopulated LAZY region spanning the range bulk-faults.
+        """
+        self._own_process(proc)
+        region = proc.aspace.find_region(vaddr)
+        faults = 0
+        if (
+            region is not None
+            and region.kind is RegionKind.LAZY
+            and region.populated == 0
+            and region.start == vaddr
+            and npages == region.npages
+        ):
+            faults = yield from self._bulk_fault(proc, region)
+        elif region is not None and region.populated == region.npages and region.contains(
+            vaddr + (npages - 1) * PAGE_SIZE
+        ):
+            pass  # fully populated: no faults possible
+        else:
+            table = proc.aspace.table
+            for i in range(npages):
+                va = vaddr + i * PAGE_SIZE
+                try:
+                    table.translate(va, write=write)
+                except PageFault:
+                    yield from self.handle_fault(proc, va)
+                    faults += 1
+        yield self.engine.sleep(npages * self.costs.page_touch_ns)
+        proc.aspace.table.translate_range(vaddr, npages)
+        return faults
+
+    # -- export side: get_user_pages + walk ----------------------------------------------
+
+    def pin_pages(self, proc: OSProcess, vaddr: int, npages: int):
+        """Generator: ``get_user_pages`` — populate and pin, return PFNs.
+
+        The paper's footnote 1: pages are usually already allocated; the
+        point is pinning them against reclaim.
+        """
+        self._own_process(proc)
+        table = proc.aspace.table
+        region = proc.aspace.find_region(vaddr)
+        # Fault in any holes first (lazy VMAs may be partially populated).
+        if (
+            region is not None
+            and region.kind is RegionKind.LAZY
+            and region.populated == 0
+            and region.start == vaddr
+            and npages == region.npages
+        ):
+            yield from self._bulk_fault(proc, region)
+        elif region is None or region.populated != region.npages:
+            for i in range(npages):
+                va = vaddr + i * PAGE_SIZE
+                try:
+                    table.translate(va)
+                except PageFault:
+                    yield from self.handle_fault(proc, va)
+        yield self.engine.sleep(npages * self.costs.linux_gup_pin_per_page_ns)
+        table.set_flags_range(vaddr, npages, set_mask=PTE_PINNED)
+        self.gup_pinned_pages += npages
+        return table.translate_range(vaddr, npages)
+
+    def walk_for_export(self, proc: OSProcess, vaddr: int, npages: int,
+                        core: Optional[Core] = None):
+        """Generator: Linux export path = get_user_pages, then the walk."""
+        yield from self.pin_pages(proc, vaddr, npages)
+        return (yield from super().walk_for_export(proc, vaddr, npages, core=core))
+
+    # -- attach side: vm_mmap + remap_pfn_range --------------------------------------------
+
+    def map_remote_pfns(self, proc: OSProcess, pfns: np.ndarray, name: str = "xemem-att",
+                        core: Optional[Core] = None,
+                        extra_per_page_ns: int = 0):
+        """Generator: map a remote PFN list eagerly (the cross-enclave path).
+
+        vm_mmap carves the VMA under the global map lock (the shared
+        kernel structures); remap_pfn_range then installs the PTEs under
+        the *process's own* mmap_sem — concurrent attachers in different
+        processes do not serialize their installs, matching Linux.
+        """
+        self._own_process(proc)
+        yield self.map_lock.acquire()
+        try:
+            yield self.engine.sleep(self.costs.vm_mmap_fixed_ns)
+            region, _vaddr = self._place_attachment(proc, len(pfns), name)
+        finally:
+            self.map_lock.release()
+        core = core or self.service_core
+        install_ns = len(pfns) * (self.costs.map_install_per_page_ns + extra_per_page_ns)
+        yield from core.occupy(install_ns, f"remap_pfn_range:{len(pfns)}p")
+        proc.aspace.map_region_pfns(region, pfns)
+        return region
+
+    def munmap(self, proc: OSProcess, region: Region):
+        """Generator: tear down an anonymous VMA and free its frames."""
+        self._own_process(proc)
+        if region.backing_pfns is not None:
+            raise KernelError(
+                f"munmap of borrowed-frame region {region.name!r}; detach instead"
+            )
+        yield self.engine.sleep(
+            self.costs.vm_mmap_fixed_ns
+            + region.populated * self.costs.unmap_per_page_ns
+        )
+        if region.populated == region.npages:
+            pfns = proc.aspace.unmap_region(region)
+        else:
+            pfns = proc.aspace.unmap_populated_pages(region)
+        if len(pfns):
+            self.free_pfns(pfns)
+        return len(pfns)
+
+    def attach_local_lazy(self, proc: OSProcess, pfns: np.ndarray, name: str = "xemem-local"):
+        """Generator: single-OS XEMEM attachment — a LAZY VMA over the
+        exporter's frames. Cheap now, pays one fault per page on touch
+        (the Fig. 8(b) mechanism)."""
+        self._own_process(proc)
+        yield self.engine.sleep(self.costs.vm_mmap_fixed_ns)
+        vaddr = proc.aspace.find_free(len(pfns))
+        region = proc.aspace.add_region(vaddr, len(pfns), RegionKind.LAZY, name)
+        region.backing_pfns = np.asarray(pfns, dtype=np.int64)
+        return region

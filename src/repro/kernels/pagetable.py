@@ -1,0 +1,296 @@
+"""Real 4-level x86-64 page tables.
+
+The radix structure mirrors hardware: PML4 → PDPT → PD → PT, nine index
+bits per level, 4 KiB leaves. Upper levels are dicts (sparse); leaf page
+tables are 512-entry numpy int64 arrays of packed PTEs, which lets
+``map_range``/``translate_range`` move whole leaf tables per numpy
+operation — a 1 GiB mapping is 512 slice assignments, not 262 144 Python
+iterations.
+
+A packed PTE is ``(pfn << 12) | flags``. The PINNED flag is software-only
+(``get_user_pages`` semantics); everything else matches hardware bits in
+spirit, not in exact bit position.
+
+SMARTMAP's trick — sharing another process's entire address space by
+aliasing a top-level PML4 slot — is :meth:`PageTable.share_pml4_slot`,
+used by Kitten for *local* shared memory (paper §2, §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+ENTRIES = 512
+LEVELS = 4
+
+#: Bytes of virtual address space one PML4 slot covers (512 GiB).
+PML4_SLOT_SPAN = 1 << 39
+
+PTE_PRESENT = 0x001
+PTE_WRITABLE = 0x002
+PTE_USER = 0x004
+PTE_ACCESSED = 0x008
+PTE_DIRTY = 0x010
+PTE_PINNED = 0x020  # software: get_user_pages pin
+
+FLAG_MASK = (1 << PAGE_SHIFT) - 1
+
+#: Highest canonical user address we hand out (47-bit user half).
+USER_VA_LIMIT = 1 << 47
+
+
+class PageFault(Exception):
+    """Translation failed: no present PTE for the address."""
+
+    def __init__(self, vaddr: int, write: bool = False):
+        super().__init__(f"page fault at {vaddr:#x} ({'write' if write else 'read'})")
+        self.vaddr = vaddr
+        self.write = write
+
+
+def pack_pte(pfn: int, flags: int) -> int:
+    """Pack (pfn, flags) into one 64-bit PTE value."""
+    if pfn < 0:
+        raise ValueError(f"negative pfn {pfn}")
+    if flags & ~FLAG_MASK:
+        raise ValueError(f"flags {flags:#x} overflow the flag field")
+    return (pfn << PAGE_SHIFT) | flags
+
+
+def pte_pfn(pte: int) -> int:
+    """The frame number a packed PTE maps."""
+    return pte >> PAGE_SHIFT
+
+
+def pte_flags(pte: int) -> int:
+    """The flag bits of a packed PTE."""
+    return pte & FLAG_MASK
+
+
+def _split_vaddr(vaddr: int) -> Tuple[int, int, int, int]:
+    if vaddr < 0 or vaddr % PAGE_SIZE:
+        raise ValueError(f"vaddr {vaddr:#x} not page aligned / non-negative")
+    if vaddr >= USER_VA_LIMIT:
+        raise ValueError(f"vaddr {vaddr:#x} outside user half")
+    return (
+        (vaddr >> 39) & 0x1FF,
+        (vaddr >> 30) & 0x1FF,
+        (vaddr >> 21) & 0x1FF,
+        (vaddr >> 12) & 0x1FF,
+    )
+
+
+class PageTable:
+    """One process's 4-level translation tree."""
+
+    def __init__(self) -> None:
+        # PML4: slot -> PDPT dict; PDPT: slot -> PD dict; PD: slot -> leaf array
+        self.pml4: Dict[int, Dict] = {}
+        #: PML4 slots borrowed from other processes (SMARTMAP); value is the
+        #: donor PageTable. Borrowed slots are read-through, never modified.
+        self.shared_slots: Dict[int, "PageTable"] = {}
+        self._present = 0
+
+    # -- structure helpers ----------------------------------------------------
+
+    def _leaf(self, i4: int, i3: int, i2: int, create: bool) -> Optional[np.ndarray]:
+        if i4 in self.shared_slots:
+            if create:
+                raise ValueError(f"PML4 slot {i4} is borrowed (SMARTMAP); read-only")
+            # SMARTMAP aliases the donor's slot 0 (where Kitten places all
+            # process regions) under this slot.
+            return self.shared_slots[i4]._leaf_own(0, i3, i2)
+        return self._leaf_own(i4, i3, i2) if not create else self._leaf_create(i4, i3, i2)
+
+    def _leaf_own(self, i4: int, i3: int, i2: int) -> Optional[np.ndarray]:
+        pdpt = self.pml4.get(i4)
+        if pdpt is None:
+            return None
+        pd = pdpt.get(i3)
+        if pd is None:
+            return None
+        return pd.get(i2)
+
+    def _leaf_create(self, i4: int, i3: int, i2: int) -> np.ndarray:
+        pdpt = self.pml4.setdefault(i4, {})
+        pd = pdpt.setdefault(i3, {})
+        leaf = pd.get(i2)
+        if leaf is None:
+            leaf = pd[i2] = np.zeros(ENTRIES, dtype=np.int64)
+        return leaf
+
+    # -- single-page operations ------------------------------------------------
+
+    def map_page(self, vaddr: int, pfn: int, flags: int = PTE_PRESENT | PTE_WRITABLE | PTE_USER) -> None:
+        """Install one PTE; rejects double-mapping and missing PRESENT."""
+        if not flags & PTE_PRESENT:
+            raise ValueError("mapping must set PTE_PRESENT")
+        i4, i3, i2, i1 = _split_vaddr(vaddr)
+        leaf = self._leaf(i4, i3, i2, create=True)
+        if leaf[i1] & PTE_PRESENT:
+            raise ValueError(f"vaddr {vaddr:#x} already mapped")
+        leaf[i1] = pack_pte(pfn, flags)
+        self._present += 1
+
+    def unmap_page(self, vaddr: int) -> int:
+        """Remove the PTE; returns the PFN it mapped."""
+        i4, i3, i2, i1 = _split_vaddr(vaddr)
+        if i4 in self.shared_slots:
+            raise ValueError(f"PML4 slot {i4} is borrowed (SMARTMAP); read-only")
+        leaf = self._leaf(i4, i3, i2, create=False)
+        if leaf is None or not leaf[i1] & PTE_PRESENT:
+            raise PageFault(vaddr)
+        pfn = pte_pfn(int(leaf[i1]))
+        leaf[i1] = 0
+        self._present -= 1
+        return pfn
+
+    def translate(self, vaddr: int, write: bool = False) -> Tuple[int, int]:
+        """Return (pfn, flags) for ``vaddr``; raises :class:`PageFault`."""
+        page_va = vaddr & ~(PAGE_SIZE - 1)
+        i4, i3, i2, i1 = _split_vaddr(page_va)
+        leaf = self._leaf(i4, i3, i2, create=False)
+        if leaf is None:
+            raise PageFault(vaddr, write)
+        pte = int(leaf[i1])
+        if not pte & PTE_PRESENT:
+            raise PageFault(vaddr, write)
+        if write and not pte & PTE_WRITABLE:
+            raise PageFault(vaddr, write=True)
+        return pte_pfn(pte), pte_flags(pte)
+
+    def set_flags(self, vaddr: int, set_mask: int = 0, clear_mask: int = 0) -> None:
+        """Adjust flag bits on an existing PTE (e.g. pinning)."""
+        if (set_mask | clear_mask) & PTE_PRESENT and clear_mask & PTE_PRESENT:
+            raise ValueError("use unmap_page to clear PRESENT")
+        i4, i3, i2, i1 = _split_vaddr(vaddr & ~(PAGE_SIZE - 1))
+        leaf = self._leaf(i4, i3, i2, create=False)
+        if leaf is None or not leaf[i1] & PTE_PRESENT:
+            raise PageFault(vaddr)
+        leaf[i1] = (int(leaf[i1]) | set_mask) & ~clear_mask
+
+    # -- vectorized range operations --------------------------------------------
+
+    def _iter_leaf_spans(self, vaddr: int, npages: int, create: bool) -> Iterator[Tuple[np.ndarray, int, int, int]]:
+        """Yield (leaf, first_index, count, page_offset) per touched leaf table."""
+        if npages <= 0:
+            raise ValueError(f"bad page count {npages}")
+        done = 0
+        va = vaddr
+        while done < npages:
+            i4, i3, i2, i1 = _split_vaddr(va)
+            take = min(ENTRIES - i1, npages - done)
+            leaf = self._leaf(i4, i3, i2, create=create)
+            yield leaf, i1, take, done
+            done += take
+            va += take * PAGE_SIZE
+
+    def map_range(self, vaddr: int, pfns: np.ndarray, flags: int = PTE_PRESENT | PTE_WRITABLE | PTE_USER) -> None:
+        """Install ``len(pfns)`` PTEs starting at ``vaddr`` (vectorized)."""
+        if not flags & PTE_PRESENT:
+            raise ValueError("mapping must set PTE_PRESENT")
+        pfns = np.asarray(pfns, dtype=np.int64)
+        if len(pfns) and pfns.min() < 0:
+            raise ValueError("negative pfn in range")
+        spans = list(self._iter_leaf_spans(vaddr, len(pfns), create=True))
+        for leaf, i1, take, off in spans:  # validate first: all-or-nothing
+            window = leaf[i1 : i1 + take]
+            if (window & PTE_PRESENT).any():
+                first = int(np.flatnonzero(window & PTE_PRESENT)[0])
+                raise ValueError(
+                    f"vaddr {vaddr + (off + first) * PAGE_SIZE:#x} already mapped"
+                )
+        for leaf, i1, take, off in spans:
+            leaf[i1 : i1 + take] = (pfns[off : off + take] << PAGE_SHIFT) | flags
+        self._present += len(pfns)
+
+    def unmap_range(self, vaddr: int, npages: int) -> np.ndarray:
+        """Remove ``npages`` PTEs; returns the PFNs they mapped."""
+        out = np.empty(npages, dtype=np.int64)
+        spans = list(self._iter_leaf_spans(vaddr, npages, create=False))
+        for leaf, i1, take, off in spans:  # validate first: all-or-nothing
+            if leaf is None or not (leaf[i1 : i1 + take] & PTE_PRESENT).all():
+                raise PageFault(vaddr + off * PAGE_SIZE)
+        for leaf, i1, take, off in spans:
+            out[off : off + take] = leaf[i1 : i1 + take] >> PAGE_SHIFT
+            leaf[i1 : i1 + take] = 0
+        self._present -= npages
+        return out
+
+    def translate_range(self, vaddr: int, npages: int) -> np.ndarray:
+        """PFNs for ``npages`` starting at ``vaddr`` — the page-table *walk*
+        XEMEM uses to build PFN lists. Raises on any hole."""
+        out = np.empty(npages, dtype=np.int64)
+        for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
+            if leaf is None:
+                raise PageFault(vaddr + off * PAGE_SIZE)
+            window = leaf[i1 : i1 + take]
+            if not (window & PTE_PRESENT).all():
+                hole = int(np.flatnonzero((window & PTE_PRESENT) == 0)[0])
+                raise PageFault(vaddr + (off + hole) * PAGE_SIZE)
+            out[off : off + take] = window >> PAGE_SHIFT
+        return out
+
+    def range_flags_all(self, vaddr: int, npages: int, mask: int) -> bool:
+        """True when every PTE in the range has all bits of ``mask`` set."""
+        for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
+            if leaf is None:
+                raise PageFault(vaddr + off * PAGE_SIZE)
+            window = leaf[i1 : i1 + take]
+            if not (window & PTE_PRESENT).all():
+                raise PageFault(vaddr + off * PAGE_SIZE)
+            if ((window & mask) == mask).sum() != take:
+                return False
+        return True
+
+    def set_flags_range(self, vaddr: int, npages: int, set_mask: int = 0, clear_mask: int = 0) -> None:
+        """Adjust flag bits across a mapped range (e.g. bulk pinning)."""
+        if clear_mask & PTE_PRESENT:
+            raise ValueError("use unmap_range to clear PRESENT")
+        for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
+            if leaf is None or not (leaf[i1 : i1 + take] & PTE_PRESENT).all():
+                raise PageFault(vaddr + off * PAGE_SIZE)
+            leaf[i1 : i1 + take] = (leaf[i1 : i1 + take] | set_mask) & ~clear_mask
+
+    # -- SMARTMAP -----------------------------------------------------------------
+
+    def share_pml4_slot(self, slot: int, donor: "PageTable") -> None:
+        """Alias ``donor``'s whole address space under PML4 ``slot``.
+
+        This is SMARTMAP: translations through ``slot`` read the donor's
+        own tree (donor slot 0, where Kitten places all process regions).
+        """
+        if not 0 <= slot < ENTRIES // 2:
+            raise ValueError(f"slot {slot} outside user half")
+        if slot in self.pml4 or slot in self.shared_slots:
+            raise ValueError(f"PML4 slot {slot} already in use")
+        if donor is self:
+            raise ValueError("cannot SMARTMAP a table into itself")
+        self.shared_slots[slot] = donor
+
+    def unshare_pml4_slot(self, slot: int) -> None:
+        """Drop a borrowed SMARTMAP slot."""
+        if slot not in self.shared_slots:
+            raise ValueError(f"PML4 slot {slot} not shared")
+        del self.shared_slots[slot]
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def present_pages(self) -> int:
+        """Number of present PTEs in this table's own tree."""
+        return self._present
+
+    def mapped_vaddrs(self) -> List[int]:
+        """All mapped page-aligned vaddrs in this table's own tree (slow; tests)."""
+        out = []
+        for i4, pdpt in self.pml4.items():
+            for i3, pd in pdpt.items():
+                for i2, leaf in pd.items():
+                    for i1 in np.flatnonzero(leaf & PTE_PRESENT):
+                        out.append((i4 << 39) | (i3 << 30) | (i2 << 21) | (int(i1) << 12))
+        return sorted(out)

@@ -1,0 +1,43 @@
+"""The OS process model shared by all kernels."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.kernels.addrspace import AddressSpace
+
+
+class ProcState(enum.Enum):
+    """Lifecycle states of an OS process."""
+    READY = "ready"
+    RUNNING = "running"
+    EXITED = "exited"
+
+
+class OSProcess:
+    """A user process inside one enclave kernel.
+
+    Carries the address space, the core the process is pinned to (the
+    paper pins everything, §5.1/§7.1), and the owning kernel — which is
+    how XEMEM finds the memory-mapping routines for a segment's pages.
+    """
+
+    def __init__(self, kernel: "object", pid: int, name: str = "",
+                 core_id: Optional[int] = None):
+        self.kernel = kernel
+        self.pid = pid
+        self.name = name or f"pid{pid}"
+        self.core_id = core_id
+        self.aspace = AddressSpace()
+        self.state = ProcState.READY
+
+    def exit(self) -> None:
+        """Mark the process exited (bookkeeping only)."""
+        self.state = ProcState.EXITED
+
+    def __repr__(self) -> str:
+        return (
+            f"OSProcess({self.name}, pid={self.pid}, core={self.core_id}, "
+            f"{self.state.value})"
+        )

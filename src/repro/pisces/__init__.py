@@ -1,0 +1,14 @@
+"""The Pisces lightweight co-kernel architecture.
+
+Pisces (paper §4, citing [15]) decomposes a node's cores and memory
+blocks into partitions managed by independent kernels: an unmodified
+Linux "management" enclave plus any number of Kitten co-kernels. The
+co-kernels talk to Linux through a small shared-memory region signalled
+by IPIs — and, crucially for Fig. 6, *all* Linux-side IPI handling is
+restricted to core 0 of the system (§5.3).
+"""
+
+from repro.pisces.pisces import PiscesManager, PartitionError
+from repro.pisces.channel import PiscesChannel
+
+__all__ = ["PiscesManager", "PiscesChannel", "PartitionError"]

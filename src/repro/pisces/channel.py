@@ -1,0 +1,94 @@
+"""The IPI-based Pisces cross-enclave channel (paper §4.5).
+
+A co-kernel boot carves a small shared-memory message region. To send,
+the source enclave IPIs the destination's handling CPU; the destination
+flags readiness; the source copies the message in chunks through the
+region; the destination copies it out. PFN lists larger than the region
+stream through it chunk by chunk, one IPI round per chunk.
+
+Two behaviours the evaluation hinges on:
+
+* **Core-0 restriction** — every chunk headed *into* the Linux
+  management enclave is handled on node core 0 regardless of which
+  process the message is for, so concurrent enclaves queue there
+  (§5.3). The handler occupancy is real: it holds core 0's resource.
+* **Multi-enclave handling penalty** — once two or more co-kernels share
+  the core-0 handler, per-page marshalling picks up
+  ``multi_enclave_channel_penalty_per_page_ns`` (cache-cold dispatch +
+  contended Linux map structures). This models the measured 1→2 enclave
+  plateau in Fig. 6; ablation B zeroes it (the paper's proposed
+  distributed IPI routing).
+"""
+
+from __future__ import annotations
+
+from repro.enclave.enclave import Channel, Enclave, KernelMessage
+from repro.hw.interrupts import IpiVector
+
+
+class PiscesChannel(Channel):
+    """Linux management enclave <-> one Kitten co-kernel."""
+
+    def __init__(self, linux_enclave: Enclave, cokernel_enclave: Enclave,
+                 name: str = "", ipi_target_policy: str = "core0"):
+        super().__init__(linux_enclave, cokernel_enclave, name=name)
+        if ipi_target_policy not in ("core0", "distributed"):
+            raise ValueError(f"unknown IPI target policy {ipi_target_policy!r}")
+        self.linux_enclave = linux_enclave
+        self.cokernel_enclave = cokernel_enclave
+        self.ipi_target_policy = ipi_target_policy
+        node = linux_enclave.kernel.node
+        self.node = node
+        self.costs = node.costs
+        # Vector into Linux: core 0 of the node (the §5.3 restriction),
+        # or the co-kernel's paired service core under ablation B.
+        # A stable (non-salted) hash keeps core assignment deterministic.
+        spread = sum(cokernel_enclave.name.encode())
+        linux_core = (
+            0
+            if ipi_target_policy == "core0"
+            else linux_enclave.kernel.cores[
+                spread % len(linux_enclave.kernel.cores)
+            ].core_id
+        )
+        self._to_linux_vec = node.intc.allocate_vector(linux_core)
+        self._to_cokernel_vec = node.intc.allocate_vector(
+            cokernel_enclave.kernel.service_core.core_id
+        )
+        node.intc.register(self._to_linux_vec, self._chunk_handler)
+        node.intc.register(self._to_cokernel_vec, self._chunk_handler)
+
+    @property
+    def linux_handling_core_id(self) -> int:
+        """The node core that handles this channel's Linux-side IPIs."""
+        return self._to_linux_vec.core_id
+
+    def _chunk_handler(self, payload):
+        """Destination-side per-chunk work: flag + copy-out occupancy."""
+        occupancy = payload
+        yield self.a.engine.sleep(occupancy)
+
+    def _multi_cokernel(self) -> bool:
+        if self.system is None:
+            return False
+        return self.system.cokernel_count >= 2
+
+    def _transfer(self, src: Enclave, dst: Enclave, msg: KernelMessage):
+        engine = src.engine
+        costs = self.costs
+        vec: IpiVector = (
+            self._to_linux_vec if dst is self.linux_enclave else self._to_cokernel_vec
+        )
+        npfns = msg.npfns
+        penalty = (
+            costs.multi_enclave_channel_penalty_per_page_ns
+            if self._multi_cokernel() and self.ipi_target_policy == "core0"
+            else 0
+        )
+        # Per-PFN marshalling through the shared region (source side).
+        yield engine.sleep(npfns * (costs.channel_per_pfn_ns + penalty))
+        # One IPI round per chunk; the handler occupies the target core.
+        chunks = costs.pfn_list_chunks(npfns) if npfns else 1
+        for _ in range(chunks):
+            yield from self.node.intc.send_ipi(vec, costs.ipi_handler_core0_ns)
+        return msg

@@ -1,0 +1,290 @@
+"""Event loop and virtual clock.
+
+The engine owns a priority queue of ``(time_ns, seq, callback)`` entries.
+``seq`` is a monotonically increasing tiebreaker so that events scheduled
+for the same instant fire in scheduling order — this is what makes the
+whole simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+#: Virtual time units per second. All engine times are integer nanoseconds.
+NS_PER_SEC = 1_000_000_000
+NS_PER_MS = 1_000_000
+NS_PER_US = 1_000
+
+
+class SimError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. time travel)."""
+
+
+class Awaitable:
+    """Base class for anything a process generator may ``yield``.
+
+    Subclasses implement :meth:`subscribe`, registering a resume callback
+    invoked as ``callback(value, exc)`` exactly once.
+    """
+
+    def subscribe(self, callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        raise NotImplementedError
+
+
+class Timeout(Awaitable):
+    """Awaitable that fires ``delay_ns`` after it was created."""
+
+    __slots__ = ("engine", "delay_ns", "value")
+
+    def __init__(self, engine: "Engine", delay_ns: int, value: Any = None):
+        if delay_ns < 0:
+            raise SimError(f"negative timeout: {delay_ns}")
+        self.engine = engine
+        self.delay_ns = int(delay_ns)
+        self.value = value
+
+    def subscribe(self, callback) -> None:
+        self.engine.call_at(self.engine.now + self.delay_ns, lambda: callback(self.value, None))
+
+
+class Event(Awaitable):
+    """One-shot event. Processes wait on it; :meth:`trigger` resumes them all.
+
+    The value passed to :meth:`trigger` becomes the result of the ``yield``.
+    :meth:`fail` resumes waiters by raising an exception inside them.
+    """
+
+    __slots__ = ("engine", "_callbacks", "_done", "_value", "_exc", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._callbacks: list = []
+        self._done = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has fired or failed."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The trigger value; raises if not yet triggered."""
+        if not self._done:
+            raise SimError(f"event {self.name!r} not yet triggered")
+        return self._value
+
+    def subscribe(self, callback) -> None:
+        if self._done:
+            # Resume on the next loop turn (still at the current instant) so
+            # a yield on an already-triggered event never re-enters the
+            # yielding process synchronously.
+            self.engine.call_at(self.engine.now, lambda: callback(self._value, self._exc))
+        else:
+            self._callbacks.append(callback)
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Fire the event, resuming every waiter with ``value``."""
+        if self._done:
+            raise SimError(f"event {self.name!r} triggered twice")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.engine.call_at(self.engine.now, lambda cb=cb: cb(value, None))
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event by raising ``exc`` inside every waiter."""
+        if self._done:
+            raise SimError(f"event {self.name!r} triggered twice")
+        self._done = True
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.engine.call_at(self.engine.now, lambda cb=cb: cb(None, exc))
+        return self
+
+
+class AllOf(Awaitable):
+    """Fires when every constituent awaitable has fired; value is a list."""
+
+    def __init__(self, engine: "Engine", items: Iterable[Awaitable]):
+        self.engine = engine
+        self.items = list(items)
+
+    def subscribe(self, callback) -> None:
+        pending = len(self.items)
+        results: list = [None] * pending
+        if pending == 0:
+            self.engine.call_at(self.engine.now, lambda: callback([], None))
+            return
+        state = {"left": pending, "failed": False}
+
+        def make_cb(i):
+            def cb(value, exc):
+                if state["failed"]:
+                    return
+                if exc is not None:
+                    state["failed"] = True
+                    callback(None, exc)
+                    return
+                results[i] = value
+                state["left"] -= 1
+                if state["left"] == 0:
+                    callback(results, None)
+
+            return cb
+
+        for i, item in enumerate(self.items):
+            item.subscribe(make_cb(i))
+
+
+class AnyOf(Awaitable):
+    """Fires when the first constituent fires; value is ``(index, value)``."""
+
+    def __init__(self, engine: "Engine", items: Iterable[Awaitable]):
+        self.engine = engine
+        self.items = list(items)
+        if not self.items:
+            raise SimError("AnyOf of nothing")
+
+    def subscribe(self, callback) -> None:
+        state = {"done": False}
+
+        def make_cb(i):
+            def cb(value, exc):
+                if state["done"]:
+                    return
+                state["done"] = True
+                if exc is not None:
+                    callback(None, exc)
+                else:
+                    callback((i, value), None)
+
+            return cb
+
+        for i, item in enumerate(self.items):
+            item.subscribe(make_cb(i))
+
+
+class Engine:
+    """The simulation event loop.
+
+    >>> eng = Engine()
+    >>> def hello(eng, out):
+    ...     yield eng.sleep(5)
+    ...     out.append(eng.now)
+    >>> out = []
+    >>> _ = eng.spawn(hello(eng, out))
+    >>> eng.run()
+    >>> out
+    [5]
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list = []
+        self._seq = 0
+        self._processes: list = []  # live processes, for diagnostics
+
+    # -- scheduling ---------------------------------------------------------
+
+    def call_at(self, when_ns: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute virtual time ``when_ns``."""
+        when_ns = int(when_ns)
+        if when_ns < self.now:
+            raise SimError(f"cannot schedule at {when_ns} < now {self.now}")
+        heapq.heappush(self._queue, (when_ns, self._seq, callback))
+        self._seq += 1
+
+    def call_after(self, delay_ns: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay_ns`` from now."""
+        self.call_at(self.now + int(delay_ns), callback)
+
+    # -- awaitable factories ------------------------------------------------
+
+    def sleep(self, delay_ns: int, value: Any = None) -> Timeout:
+        """Awaitable that fires after ``delay_ns``."""
+        return Timeout(self, delay_ns, value)
+
+    def event(self, name: str = "") -> Event:
+        """A fresh one-shot Event bound to this engine."""
+        return Event(self, name)
+
+    def all_of(self, items: Iterable[Awaitable]) -> AllOf:
+        """Awaitable: fires when every item has fired (list of values)."""
+        return AllOf(self, items)
+
+    def any_of(self, items: Iterable[Awaitable]) -> AnyOf:
+        """Awaitable: fires at the first item, value (index, value)."""
+        return AnyOf(self, items)
+
+    def spawn(self, gen, name: str = "") -> "Process":
+        """Start a new process from generator ``gen``; returns the Process."""
+        from repro.sim.process import Process
+
+        proc = Process(self, gen, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # -- running ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event. Returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback = heapq.heappop(self._queue)
+        self.now = when
+        callback()
+        return True
+
+    def run(self, until_ns: Optional[int] = None) -> None:
+        """Run until the queue drains or virtual time reaches ``until_ns``.
+
+        When ``until_ns`` is given and is reached, the clock is left exactly
+        at ``until_ns`` and any not-yet-due events stay queued.
+        """
+        while self._queue:
+            when = self._queue[0][0]
+            if until_ns is not None and when > until_ns:
+                self.now = until_ns
+                return
+            self.step()
+        if until_ns is not None and self.now < until_ns:
+            self.now = until_ns
+
+    def run_until_complete(self, proc) -> Any:
+        """Step the loop until ``proc`` finishes, then return its result.
+
+        Unlike :meth:`run`, this tolerates unbounded background activity
+        (noise daemons, pollers): pending events are simply left queued
+        once the target process completes.
+        """
+        while not proc.finished:
+            if not self.step():
+                raise SimError(
+                    f"queue drained before process {proc.name!r} finished (deadlock?)"
+                )
+        return proc.result
+
+    def run_process(self, gen, name: str = "", until_ns: Optional[int] = None) -> Any:
+        """Spawn ``gen``, run to completion, and return its result.
+
+        Convenience wrapper used pervasively by tests and benchmarks.
+        Raises the process's exception if it failed, or :class:`SimError`
+        if the queue drained before the process finished.
+        """
+        proc = self.spawn(gen, name=name)
+        self.run(until_ns=until_ns)
+        if not proc.finished:
+            raise SimError(f"process {name or gen!r} did not finish (deadlock?)")
+        return proc.result
+
+    @property
+    def queue_len(self) -> int:
+        """Events currently queued."""
+        return len(self._queue)

@@ -1,0 +1,137 @@
+"""Contended resources for the simulation: cores, kernel locks, devices.
+
+A :class:`Resource` has an integer capacity and a FIFO wait queue.
+Contention statistics (waits, wait time, peak queue depth) are collected in
+:class:`ResourceStats`; the Linux-only variance in the paper's Figures 8
+and 9 falls out of these queues rather than being injected ad hoc.
+
+Usage inside a process generator::
+
+    yield lock.acquire()
+    try:
+        ... critical section (may yield) ...
+    finally:
+        lock.release()
+
+Processes must not be :meth:`~repro.sim.process.Process.interrupt`-ed while
+queued on a resource: an abandoned grant would leak a slot. All resource
+waits in this codebase are short and uninterrupted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from repro.sim.engine import Engine, Event, SimError
+
+
+@dataclass
+class ResourceStats:
+    """Aggregate contention statistics for one resource."""
+
+    acquisitions: int = 0
+    contended_acquisitions: int = 0
+    total_wait_ns: int = 0
+    max_wait_ns: int = 0
+    max_queue_depth: int = 0
+    busy_ns: int = 0
+    _busy_since: Optional[int] = field(default=None, repr=False)
+
+    @property
+    def mean_wait_ns(self) -> float:
+        """Average wait per acquisition (0 when uncontended)."""
+        return self.total_wait_ns / self.acquisitions if self.acquisitions else 0.0
+
+
+class Resource:
+    """Counted resource with FIFO granting.
+
+    ``capacity`` concurrent holders are allowed; further acquirers queue.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Tuple[Event, int]] = deque()
+        self.stats = ResourceStats()
+
+    def acquire(self) -> Event:
+        """Return an event that triggers once a slot is granted."""
+        ev = self.engine.event(name=f"{self.name}.acquire")
+        if self.in_use < self.capacity:
+            self._grant(ev, queued_at=None)
+        else:
+            self._waiters.append((ev, self.engine.now))
+            self.stats.max_queue_depth = max(
+                self.stats.max_queue_depth, len(self._waiters)
+            )
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.stats.acquisitions += 1
+            self._note_busy()
+            return True
+        return False
+
+    def release(self) -> None:
+        """Free one slot; grants the longest-waiting acquirer FIFO."""
+        if self.in_use <= 0:
+            raise SimError(f"release of idle resource {self.name!r}")
+        self.in_use -= 1
+        if self._waiters:
+            ev, queued_at = self._waiters.popleft()
+            self._grant(ev, queued_at)
+        elif self.in_use == 0 and self.stats._busy_since is not None:
+            self.stats.busy_ns += self.engine.now - self.stats._busy_since
+            self.stats._busy_since = None
+
+    @property
+    def queue_depth(self) -> int:
+        """Acquirers currently waiting."""
+        return len(self._waiters)
+
+    # -- internals -----------------------------------------------------------
+
+    def _grant(self, ev: Event, queued_at: Optional[int]) -> None:
+        self.in_use += 1
+        self.stats.acquisitions += 1
+        if queued_at is not None:
+            waited = self.engine.now - queued_at
+            self.stats.contended_acquisitions += 1
+            self.stats.total_wait_ns += waited
+            self.stats.max_wait_ns = max(self.stats.max_wait_ns, waited)
+        self._note_busy()
+        ev.trigger(self)
+
+    def _note_busy(self) -> None:
+        if self.stats._busy_since is None:
+            self.stats._busy_since = self.engine.now
+
+
+class Mutex(Resource):
+    """Capacity-1 resource, used for kernel locks (e.g. Linux ``mmap_sem``)."""
+
+    def __init__(self, engine: Engine, name: str = ""):
+        super().__init__(engine, capacity=1, name=name)
+
+    def locked_section(self, body_gen):
+        """Wrap a generator in acquire/release (``yield from`` this)."""
+
+        def wrapped():
+            yield self.acquire()
+            try:
+                result = yield from body_gen
+            finally:
+                self.release()
+            return result
+
+        return wrapped()

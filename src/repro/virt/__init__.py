@@ -1,0 +1,39 @@
+"""The Palacios lightweight virtual machine monitor.
+
+The pieces the paper's §4.4 describes:
+
+* :mod:`repro.virt.rbtree` — a real red–black tree. Palacios stores the
+  guest-physical→host-physical memory map in one; XEMEM guest attachments
+  insert one entry per (non-contiguous) host frame, and the O(log n)
+  insert/rebalance work is exactly the 3× slowdown of Table 2.
+* :mod:`repro.virt.radixmap` — the radix-tree alternative the paper
+  proposes as future work (ablation A).
+* :mod:`repro.virt.memmap` — the memory map proper, over either backend,
+  with the last-entry lookup cache that makes guest-*export* translations
+  cheap (Table 2, bottom row).
+* :mod:`repro.virt.pci` — the virtual PCI device: command header, PFN-list
+  window, virtual IRQs into the guest, hypercalls into the host.
+* :mod:`repro.virt.palacios` — the VMM: VM RAM construction, the Fig. 4(a)
+  guest-attach and Fig. 4(b) guest-export translation flows.
+* :mod:`repro.virt.guest` — the guest Linux kernel, running over
+  guest-physical frames that resolve through the memory map to real host
+  frames (so guest shared memory is still genuinely zero-copy).
+"""
+
+from repro.virt.rbtree import RedBlackTree
+from repro.virt.radixmap import RadixMap
+from repro.virt.memmap import VmmMemoryMap, MapEntry
+from repro.virt.pci import XememPciDevice
+from repro.virt.palacios import PalaciosVmm
+from repro.virt.guest import GuestLinuxKernel, GuestPhysicalMemory
+
+__all__ = [
+    "RedBlackTree",
+    "RadixMap",
+    "VmmMemoryMap",
+    "MapEntry",
+    "XememPciDevice",
+    "PalaciosVmm",
+    "GuestLinuxKernel",
+    "GuestPhysicalMemory",
+]

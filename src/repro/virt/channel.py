@@ -1,0 +1,67 @@
+"""The Palacios host/guest channel (paper §4.4–4.5).
+
+Wraps the virtual PCI device as an enclave :class:`Channel`. The defining
+behaviour: PFN lists are rewritten at the VM boundary, in flight —
+
+* **host → guest** (Fig. 4(a)): the VMM allocates fresh guest-physical
+  space, points the memory map at the host frames (the RB-tree inserts
+  Table 2 measures), and delivers *guest* PFNs through the device.
+* **guest → host** (Fig. 4(b)): the VMM walks the memory map for each
+  guest page and delivers *host* PFNs.
+
+Messages without a PFN list skip translation and just pay the command
+header + doorbell costs, as §4.5 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.enclave.enclave import Channel, Enclave, KernelMessage
+from repro.virt.palacios import PalaciosVmm
+
+
+class PalaciosChannel(Channel):
+    """Host enclave <-> guest enclave, over the XEMEM PCI device."""
+
+    def __init__(self, host_enclave: Enclave, guest_enclave: Enclave,
+                 vmm: PalaciosVmm, name: str = ""):
+        super().__init__(host_enclave, guest_enclave, name=name)
+        self.host_enclave = host_enclave
+        self.guest_enclave = guest_enclave
+        self.vmm = vmm
+        # Channel-level delivery: the device handler hands the (already
+        # translated) message to the enclave's receiver. Processing is
+        # spawned, not awaited, so sends stay one-way like PiscesChannel.
+        vmm.pci.register_guest_handler(self._noop_handler)
+        vmm.pci.register_host_handler(self._noop_handler)
+
+    @staticmethod
+    def _noop_handler(_msg, _pfns):
+        return None
+        yield  # pragma: no cover
+
+    def _transfer(self, src: Enclave, dst: Enclave, msg: KernelMessage):
+        costs = self.vmm.costs
+        if dst is self.guest_enclave:
+            # host -> guest: map any host PFN list into fresh guest space
+            if msg.pfns is not None:
+                gpa_pfns = yield from self.vmm.map_host_pfns_into_guest(msg.pfns)
+                msg = replace_pfns(msg, gpa_pfns)
+            yield from self.vmm.pci.host_to_guest(msg.kind, msg.pfns)
+        else:
+            # guest -> host: translate any guest PFN list to host frames
+            if msg.pfns is not None:
+                hpa_pfns = yield from self.vmm.translate_guest_pfns(msg.pfns)
+                msg = replace_pfns(msg, hpa_pfns)
+            yield from self.vmm.pci.guest_to_host(msg.kind, msg.pfns)
+        # guest-side PTE installs for delivered lists cost more through
+        # the VMM than native installs; the module layer charges
+        # guest_map_install_per_page_ns via the kernel's map routines.
+        del costs
+        return msg
+
+
+def replace_pfns(msg: KernelMessage, pfns) -> KernelMessage:
+    """Copy of the message with its PFN list swapped."""
+    return KernelMessage(kind=msg.kind, payload=msg.payload, pfns=pfns)

@@ -1,0 +1,93 @@
+"""The virtual PCI device carrying XEMEM traffic across the VM boundary.
+
+Paper §4.4/§4.5: the device exposes a command header and a PFN-list
+window. Host→guest notifications are virtual IRQs injected into the
+guest; guest→host notifications are hypercalls (VM exits). Commands
+without PFN lists (everything but attach) skip the list copy.
+
+Each direction has a registered handler — the XEMEM module of the
+receiving side. Handlers are generator factories ``handler(msg, pfns)``
+run on the receiving side's service core.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.resources import Mutex
+
+
+class XememPciDevice:
+    """One VM's XEMEM device: two doorbells around a shared window."""
+
+    def __init__(self, engine: Engine, costs, host_core, guest_core, name: str = "xemem-pci"):
+        self.engine = engine
+        self.costs = costs
+        self.host_core = host_core
+        self.guest_core = guest_core
+        self.name = name
+        self._guest_handler: Optional[Callable] = None
+        self._host_handler: Optional[Callable] = None
+        # One outstanding command per direction; the window is shared.
+        self._window = Mutex(engine, name=f"{name}.window")
+        self.virqs_raised = 0
+        self.hypercalls = 0
+
+    def register_guest_handler(self, handler: Callable) -> None:
+        """Handler run *in the guest* when the host raises the vIRQ."""
+        self._guest_handler = handler
+
+    def register_host_handler(self, handler: Callable) -> None:
+        """Handler run *in the host* when the guest issues the hypercall."""
+        self._host_handler = handler
+
+    def _copy_cost(self, pfns: Optional[np.ndarray]) -> int:
+        return 0 if pfns is None else len(pfns) * self.costs.pci_copy_per_pfn_ns
+
+    def host_to_guest(self, msg, pfns: Optional[np.ndarray] = None):
+        """Generator: deliver a command (plus optional PFN list) to the guest.
+
+        Copies the list into the device window, injects the vIRQ, and runs
+        the guest handler on the guest's vCPU core; completes when the
+        handler returns. The handler's value is this generator's value.
+        """
+        if self._guest_handler is None:
+            raise RuntimeError(f"{self.name}: no guest handler registered")
+        yield self._window.acquire()
+        try:
+            # writer copies the list into the device window; the guest
+            # handler reads it in place (no second copy)
+            yield self.engine.sleep(self._copy_cost(pfns))
+            self.virqs_raised += 1
+            yield self.engine.sleep(self.costs.virq_inject_ns)
+            result = yield from self._run_on(self.guest_core, self._guest_handler, msg, pfns, "virq")
+        finally:
+            self._window.release()
+        return result
+
+    def guest_to_host(self, msg, pfns: Optional[np.ndarray] = None):
+        """Generator: deliver a command from the guest to the host VMM."""
+        if self._host_handler is None:
+            raise RuntimeError(f"{self.name}: no host handler registered")
+        yield self._window.acquire()
+        try:
+            yield self.engine.sleep(self._copy_cost(pfns))
+            self.hypercalls += 1
+            yield self.engine.sleep(self.costs.hypercall_ns)
+            result = yield from self._run_on(self.host_core, self._host_handler, msg, pfns, "hypercall")
+        finally:
+            self._window.release()
+        return result
+
+    def _run_on(self, core, handler, msg, pfns, tag: str):
+        yield core.resource.acquire()
+        start = self.engine.now
+        try:
+            result = yield from handler(msg, pfns)
+        finally:
+            core.resource.release()
+            core.log_steal(start, self.engine.now - start, f"{self.name}:{tag}")
+        return result

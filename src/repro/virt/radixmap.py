@@ -1,0 +1,125 @@
+"""Radix-tree memory map backend — the paper's proposed future work.
+
+Section 5.4: "In the future we intend to remove this overhead through the
+use of more intelligent radix tree based data structures that can more
+appropriately mimic a page table's organization." Ablation A swaps this
+backend into the VMM memory map and re-runs the Table 2 experiment.
+
+Keys are guest PFNs; the tree is 4 levels of 512-way fanout (mirroring a
+page table), so insert and lookup touch a constant 4 levels regardless of
+how many entries exist — no rebalancing, no growth-dependent cost. Work
+accounting counts *levels touched* (:attr:`RadixMap.levels_touched`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+_BITS = 9
+_FANOUT = 1 << _BITS
+_LEVELS = 4
+_KEY_LIMIT = 1 << (_BITS * _LEVELS)
+
+
+class RadixMap:
+    """4-level radix map from integer key (guest PFN) to value."""
+
+    def __init__(self) -> None:
+        self.root: dict = {}
+        self.size = 0
+        #: Total levels traversed across all operations (cost accounting).
+        self.levels_touched = 0
+
+    @staticmethod
+    def _indices(key: int) -> Tuple[int, int, int, int]:
+        if not 0 <= key < _KEY_LIMIT:
+            raise ValueError(f"key {key} outside radix key space")
+        return (
+            (key >> 27) & 0x1FF,
+            (key >> 18) & 0x1FF,
+            (key >> 9) & 0x1FF,
+            key & 0x1FF,
+        )
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``key``; duplicate keys raise (4 levels touched)."""
+        i0, i1, i2, i3 = self._indices(key)
+        self.levels_touched += _LEVELS
+        l1 = self.root.setdefault(i0, {})
+        l2 = l1.setdefault(i1, {})
+        leaf = l2.setdefault(i2, {})
+        if i3 in leaf:
+            raise KeyError(f"duplicate key {key}")
+        leaf[i3] = value
+        self.size += 1
+
+    def get(self, key: int) -> Any:
+        """Value at ``key``; raises KeyError when absent."""
+        i0, i1, i2, i3 = self._indices(key)
+        self.levels_touched += _LEVELS
+        try:
+            return self.root[i0][i1][i2][i3]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def __contains__(self, key: int) -> bool:
+        i0, i1, i2, i3 = self._indices(key)
+        self.levels_touched += _LEVELS
+        try:
+            return i3 in self.root[i0][i1][i2]
+        except KeyError:
+            return False
+
+    def delete(self, key: int) -> Any:
+        """Remove ``key``; prunes empty interior nodes."""
+        i0, i1, i2, i3 = self._indices(key)
+        self.levels_touched += _LEVELS
+        try:
+            leaf = self.root[i0][i1][i2]
+            value = leaf.pop(i3)
+        except KeyError:
+            raise KeyError(key) from None
+        self.size -= 1
+        # prune empty interior nodes so iteration stays proportional to size
+        if not leaf:
+            del self.root[i0][i1][i2]
+            if not self.root[i0][i1]:
+                del self.root[i0][i1]
+                if not self.root[i0]:
+                    del self.root[i0]
+        return value
+
+    def floor(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Largest (key, value) <= query. O(levels * fanout) worst case;
+        the memory map uses it rarely (interval splits)."""
+        best: Optional[Tuple[int, Any]] = None
+        for k, v in self.items():
+            if k > key:
+                break
+            best = (k, v)
+        return best
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """(key, value) pairs in ascending key order."""
+        for i0 in sorted(self.root):
+            l1 = self.root[i0]
+            for i1 in sorted(l1):
+                l2 = l1[i1]
+                for i2 in sorted(l2):
+                    leaf = l2[i2]
+                    for i3 in sorted(leaf):
+                        key = (i0 << 27) | (i1 << 18) | (i2 << 9) | i3
+                        yield key, leaf[i3]
+
+    def keys(self) -> List[int]:
+        """All keys in ascending order."""
+        return [k for k, _v in self.items()]
+
+    def min_key(self) -> Optional[int]:
+        """Smallest key, or None when empty."""
+        for k, _v in self.items():
+            return k
+        return None
+
+    def __len__(self) -> int:
+        return self.size

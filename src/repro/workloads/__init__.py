@@ -1,0 +1,34 @@
+"""Benchmark workloads: HPCCG, STREAM, the composed in situ driver, and
+the Selfish Detour noise benchmark (paper §5.5, §6).
+
+Numerics are real (the CG solver converges on an actual 27-point stencil
+system; STREAM's triad is checked element-wise); execution *time* is
+modeled on the virtual clock via the cost model plus the kernels' noise
+accounting — see :func:`repro.workloads.compute.noise_aware_compute`.
+"""
+
+from repro.workloads.stream import StreamBenchmark, StreamResult
+from repro.workloads.hpccg import HpccgProblem, HpccgSolver, HpccgTiming
+from repro.workloads.compute import noise_aware_compute
+from repro.workloads.selfish import SelfishDetour, DetourEvent
+from repro.workloads.insitu import (
+    InSituConfig,
+    InSituResult,
+    InSituWorkload,
+    SharedFlags,
+)
+
+__all__ = [
+    "StreamBenchmark",
+    "StreamResult",
+    "HpccgProblem",
+    "HpccgSolver",
+    "HpccgTiming",
+    "noise_aware_compute",
+    "SelfishDetour",
+    "DetourEvent",
+    "InSituConfig",
+    "InSituResult",
+    "InSituWorkload",
+    "SharedFlags",
+]

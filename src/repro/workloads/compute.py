@@ -1,0 +1,38 @@
+"""Noise-aware compute: turning base work into wall-clock on a noisy core.
+
+A compute phase of ``base_ns`` on a core does not finish in ``base_ns``:
+the OS steals time (ticks, daemons, SMIs, XEMEM service). Rather than
+simulating every 1 kHz tick as an event, the kernels expose analytic
+noise accounting (:meth:`repro.kernels.base.KernelBase.stolen_ns`), and
+this helper finds the fixed point
+
+    elapsed = base_ns + stolen(t0, t0 + elapsed)
+
+by sleeping the base first and then extending the sleep until the account
+balances. Converges in a few rounds because noise fractions are ≪ 1.
+This is what amplifies into the Fig. 8/9 Linux-only variance: the daemon
+bursts are heavy-tailed and differently seeded per run.
+"""
+
+from __future__ import annotations
+
+
+def noise_aware_compute(kernel, proc, base_ns: int, slowdown: float = 1.0):
+    """Generator: run ``base_ns`` of application work on ``proc``'s core.
+
+    ``slowdown`` scales the base work (co-location interference,
+    virtualization overhead). Returns the actual elapsed nanoseconds.
+    """
+    if base_ns < 0:
+        raise ValueError(f"negative compute {base_ns}")
+    engine = kernel.engine
+    target_base = int(base_ns * slowdown)
+    t0 = engine.now
+    yield engine.sleep(target_base)
+    while True:
+        stolen = kernel.stolen_ns(proc.core_id, t0, engine.now)
+        target = target_base + stolen
+        done = engine.now - t0
+        if done >= target:
+            return done
+        yield engine.sleep(target - done)

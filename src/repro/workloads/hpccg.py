@@ -1,0 +1,146 @@
+"""HPCCG (Mantevo) — the HPC simulation component of the in situ pair.
+
+HPCCG is a conjugate-gradient solve on a 27-point stencil system: each
+row couples a grid point to its 3×3×3 neighborhood, diagonal 27.0 and
+off-diagonals −1.0 (diagonally dominant SPD). We implement the operator
+matrix-free (padded-array shifts, no explicit sparse matrix) and a real
+CG loop whose residual convergence the test suite asserts.
+
+Time is modeled: one CG iteration is SpMV-dominated, costing
+``rows × 27 × hpccg_ns_per_nnz / ncores`` on the virtual clock — the
+memory-bound rate calibrated in the cost model — with MPI collectives
+added by the cluster layer for multi-node runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.hw.costs import CostModel
+
+STENCIL_DIAG = 27.0
+STENCIL_OFF = -1.0
+NNZ_PER_ROW = 27
+
+
+@dataclass(frozen=True)
+class HpccgProblem:
+    """Problem dimensions (one node's subdomain in weak scaling)."""
+
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self):
+        if min(self.nx, self.ny, self.nz) < 2:
+            raise ValueError("grid must be at least 2^3")
+
+    @property
+    def rows(self) -> int:
+        """Grid points (matrix rows) in the subdomain."""
+        return self.nx * self.ny * self.nz
+
+    @property
+    def nnz(self) -> int:
+        """Matrix nonzeros (27 per row)."""
+        return self.rows * NNZ_PER_ROW
+
+    def iteration_ns(self, costs: CostModel, ncores: int = 1) -> int:
+        """Modeled wall time of one CG iteration on ``ncores``."""
+        if ncores < 1:
+            raise ValueError(f"bad core count {ncores}")
+        return int(self.nnz * costs.hpccg_ns_per_nnz / ncores)
+
+
+class HpccgSolver:
+    """A real conjugate-gradient solve on the 27-point stencil system."""
+
+    def __init__(self, problem: HpccgProblem):
+        self.problem = problem
+        self.spmv_count = 0
+
+    # -- the operator ------------------------------------------------------------
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """y = A x, matrix-free. ``x`` is flat of length ``rows``."""
+        p = self.problem
+        if x.shape != (p.rows,):
+            raise ValueError(f"x must have shape ({p.rows},)")
+        grid = x.reshape(p.nz, p.ny, p.nx)
+        padded = np.zeros((p.nz + 2, p.ny + 2, p.nx + 2), dtype=np.float64)
+        padded[1:-1, 1:-1, 1:-1] = grid
+        acc = np.zeros_like(grid)
+        for dz in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    if dz == dy == dx == 0:
+                        continue
+                    acc += padded[
+                        1 + dz : 1 + dz + p.nz,
+                        1 + dy : 1 + dy + p.ny,
+                        1 + dx : 1 + dx + p.nx,
+                    ]
+        y = STENCIL_DIAG * grid + STENCIL_OFF * acc
+        self.spmv_count += 1
+        return y.reshape(-1)
+
+    # -- CG ---------------------------------------------------------------------
+
+    def solve(self, b: np.ndarray, tol: float = 1e-10, max_iters: int = 500,
+              callback=None) -> Tuple[np.ndarray, List[float]]:
+        """CG from x0 = 0. Returns (x, residual-norm history).
+
+        ``callback(iteration, residual)`` fires after every iteration —
+        the in situ driver hooks its communication intervals here.
+        """
+        p = self.problem
+        if b.shape != (p.rows,):
+            raise ValueError(f"b must have shape ({p.rows},)")
+        x = np.zeros_like(b)
+        r = b.copy()
+        d = r.copy()
+        rr = float(r @ r)
+        b_norm = float(np.sqrt(b @ b)) or 1.0
+        history: List[float] = []
+        for it in range(1, max_iters + 1):
+            ad = self.apply(d)
+            alpha = rr / float(d @ ad)
+            x += alpha * d
+            r -= alpha * ad
+            rr_new = float(r @ r)
+            res = float(np.sqrt(rr_new)) / b_norm
+            history.append(res)
+            if callback is not None:
+                callback(it, res)
+            if res < tol:
+                break
+            d = r + (rr_new / rr) * d
+            rr = rr_new
+        return x, history
+
+    def default_rhs(self, seed: int = 0) -> np.ndarray:
+        """A seeded random right-hand side of the right length."""
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal(self.problem.rows)
+
+
+@dataclass
+class HpccgTiming:
+    """Modeled timing knobs for a simulated HPCCG run."""
+
+    problem: HpccgProblem
+    iterations: int
+    ncores: int = 1
+    #: Multiplier for virtualized execution (Palacios overhead is small).
+    compute_slowdown: float = 1.0
+
+    def iteration_ns(self, costs: CostModel) -> int:
+        return int(
+            self.problem.iteration_ns(costs, self.ncores) * self.compute_slowdown
+        )
+
+    def total_compute_ns(self, costs: CostModel) -> int:
+        return self.iterations * self.iteration_ns(costs)

@@ -1,0 +1,102 @@
+"""STREAM (HPC Challenge) — the analytics component of the in situ pair.
+
+Per the paper's §6.1 workflow, the analytics program first copies the
+shared region into a private array and then runs STREAM over it. We run
+the four kernels (copy, scale, add, triad) for real on a size-capped
+array — asserting the triad identity — while the modeled time covers the
+configured region size: one copy-in at memcpy bandwidth plus the STREAM
+pass's 10 array-sized accesses at STREAM bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.compute import noise_aware_compute
+
+#: Array-size multiples of memory traffic in one pass of the four kernels
+#: (copy 2, scale 2, add 3, triad 3).
+STREAM_TRAFFIC_MULTIPLE = 10
+
+#: Cap on the *real* computation size; the modeled time covers the full
+#: region, the actual numerics run on at most this many float64s.
+REAL_ELEMENTS_CAP = 1 << 18
+
+SCALAR = 3.0
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one analytics STREAM pass (timing + verification)."""
+    region_bytes: int
+    elapsed_ns: int
+    copy_in_ns: int
+    checksum: float
+    verified: bool
+
+    @property
+    def effective_bw_bytes_per_s(self) -> float:
+        """Total traffic moved divided by elapsed time."""
+        traffic = self.region_bytes * STREAM_TRAFFIC_MULTIPLE + self.region_bytes
+        return traffic / (self.elapsed_ns / 1e9)
+
+
+class StreamBenchmark:
+    """One analytics STREAM pass over an attached shared region."""
+
+    def __init__(self, kernel, proc):
+        self.kernel = kernel
+        self.proc = proc
+        self.costs = kernel.costs
+        self.engine = kernel.engine
+
+    def _real_kernels(self, source: np.ndarray) -> tuple:
+        """Run copy/scale/add/triad for real; returns (checksum, ok)."""
+        a = source.astype(np.float64)
+        if a.size == 0:
+            raise ValueError("empty STREAM source")
+        c = a.copy()                      # COPY:  c = a
+        b = SCALAR * c                    # SCALE: b = q*c
+        c = a + b                         # ADD:   c = a + b
+        a2 = b + SCALAR * c               # TRIAD: a = b + q*c
+        expected = SCALAR * a + SCALAR * (a + SCALAR * a)
+        ok = bool(np.allclose(a2, expected))
+        return float(a2.sum()), ok
+
+    def run(self, attached_view, region_bytes: int, slowdown: float = 1.0):
+        """Generator: copy the shared region private, STREAM over it.
+
+        ``attached_view`` is any object with ``as_array()`` (an
+        :class:`~repro.xemem.shmem.AttachedRegion` or a MappedRegion);
+        only a capped prefix is actually materialized for the real math.
+        Returns a :class:`StreamResult`.
+        """
+        if region_bytes <= 0:
+            raise ValueError(f"bad region size {region_bytes}")
+        t0 = self.engine.now
+        # copy-in: shared -> private array (real, over the capped prefix)
+        take_pages = min(
+            attached_view.npages, max(1, REAL_ELEMENTS_CAP * 8 // 4096)
+        )
+        prefix = np.concatenate(
+            [attached_view.page_view(i) for i in range(take_pages)]
+        )
+        source = prefix.view(np.float64)[:REAL_ELEMENTS_CAP]
+        copy_ns = self.costs.memcpy_ns(region_bytes)
+        yield from noise_aware_compute(self.kernel, self.proc, copy_ns, slowdown)
+        copy_done = self.engine.now
+        checksum, ok = self._real_kernels(source)
+        stream_ns = int(
+            region_bytes * STREAM_TRAFFIC_MULTIPLE * 1e9
+            / self.costs.stream_bw_bytes_per_s
+        )
+        yield from noise_aware_compute(self.kernel, self.proc, stream_ns, slowdown)
+        return StreamResult(
+            region_bytes=region_bytes,
+            elapsed_ns=self.engine.now - t0,
+            copy_in_ns=copy_done - t0,
+            checksum=checksum,
+            verified=ok,
+        )

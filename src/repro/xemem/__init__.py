@@ -1,0 +1,42 @@
+"""XEMEM: cross-enclave shared memory (the paper's contribution).
+
+Public surface:
+
+* :class:`~repro.xemem.api.XpmemApi` — the XPMEM-backwards-compatible
+  user API of Table 1 (``xpmem_make`` / ``remove`` / ``get`` / ``release``
+  / ``attach`` / ``detach``), bound to one OS process. Applications use
+  only this; they never see enclave IDs or channels (§3.1's transparency
+  goal).
+* :class:`~repro.xemem.module.XememModule` — the per-enclave "kernel
+  module": local segment registry, command routing, remote attach
+  serving via page-table walks, and mapping of remote PFN lists.
+* :class:`~repro.xemem.nameserver.NameServer` — the centralized segid
+  authority providing the common global name space (§3.1) and segid→
+  enclave mapping used to forward attachment commands (§4.2).
+* :func:`~repro.xemem.routing.run_discovery` — the §3.2 hierarchical
+  discovery/routing protocol.
+* :func:`~repro.xemem.module.install_xemem` — convenience: put a module
+  on every enclave of a system and run discovery.
+"""
+
+from repro.xemem.ids import Permit, SegmentId, ApId, XememError, PermissionError_
+from repro.xemem.nameserver import NameServer
+from repro.xemem.module import XememModule, install_xemem
+from repro.xemem.api import XpmemApi
+from repro.xemem.shmem import AttachedRegion, ExportedSegment
+from repro.xemem.routing import run_discovery
+
+__all__ = [
+    "Permit",
+    "SegmentId",
+    "ApId",
+    "XememError",
+    "PermissionError_",
+    "NameServer",
+    "XememModule",
+    "install_xemem",
+    "XpmemApi",
+    "AttachedRegion",
+    "ExportedSegment",
+    "run_discovery",
+]

@@ -1,0 +1,112 @@
+"""The XPMEM-backwards-compatible user API (paper Table 1, §4.1).
+
+Applications hold one :class:`XpmemApi` per process and use exactly the
+six XPMEM entry points. Nothing here mentions enclaves, channels, or
+topology — "unmodified applications ... without any knowledge of enclave
+topology or cross-enclave communication mechanisms".
+
+Every call is a generator to be driven inside a simulation process::
+
+    segid = yield from api.xpmem_make(vaddr, size)
+    apid  = yield from peer_api.xpmem_get(segid)
+    att   = yield from peer_api.xpmem_attach(apid, 0, size)
+
+One extension beyond XPMEM: ``xpmem_make`` accepts an optional global
+``name`` and :meth:`xpmem_search` finds a segid by name — the name
+server's discoverability feature (§3.1); single-OS XPMEM applications
+would instead pass segids over local IPC, which does not exist across
+enclaves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xemem.ids import ApId, Permit, SegmentId, XememError
+from repro.xemem.shmem import AttachedRegion, ExportedSegment
+
+
+class XpmemApi:
+    """Table 1, bound to one user process."""
+
+    def __init__(self, proc):
+        self.proc = proc
+        self._module = proc.kernel.enclave_module()
+        self._segments = {}
+        self._attachments = {}
+
+    # -- exporter side -----------------------------------------------------------
+
+    def xpmem_make(self, vaddr: int, size: int, permit: Permit = Permit(),
+                   name: Optional[str] = None):
+        """Generator: export an address region; returns its SegmentId."""
+        seg: ExportedSegment = yield from self._module.make(
+            self.proc, vaddr, size, permit=permit, name=name
+        )
+        self._segments[int(seg.segid)] = seg
+        return seg.segid
+
+    def xpmem_remove(self, segid: SegmentId):
+        """Generator: remove an exported region."""
+        seg = self._segments.pop(int(segid), None)
+        if seg is None:
+            raise XememError(f"{segid!r} was not exported by this process")
+        yield from self._module.remove(self.proc, seg)
+
+    def segment(self, segid: SegmentId) -> ExportedSegment:
+        """The exporter-side record (data view, grant count)."""
+        seg = self._segments.get(int(segid))
+        if seg is None:
+            raise XememError(f"{segid!r} was not exported by this process")
+        return seg
+
+    # -- attacher side ------------------------------------------------------------
+
+    def xpmem_get(self, segid: SegmentId, write: bool = True):
+        """Generator: request access; returns an ApId permission grant."""
+        apid = yield from self._module.get(self.proc, segid, write=write)
+        return apid
+
+    def xpmem_release(self, apid: ApId):
+        """Generator: release a permission grant."""
+        yield from self._module.release(self.proc, apid)
+
+    def xpmem_attach(self, apid: ApId, offset: int = 0, size: Optional[int] = None):
+        """Generator: map the shared region; returns an AttachedRegion."""
+        att: AttachedRegion = yield from self._module.attach(
+            self.proc, apid, offset=offset, nbytes=size
+        )
+        self._attachments[id(att)] = att
+        return att
+
+    def xpmem_detach(self, attached: AttachedRegion):
+        """Generator: unmap a shared region."""
+        self._attachments.pop(id(attached), None)
+        yield from self._module.detach(self.proc, attached)
+
+    # -- discoverability extension ------------------------------------------------
+
+    def xpmem_search(self, name: str):
+        """Generator: segid registered under ``name``, or None."""
+        segid = yield from self._module.lookup(name)
+        return segid
+
+    def xpmem_list(self, prefix: str = ""):
+        """Generator: {name: segid} for every registered segment name —
+        the name server's existence/names query (§3.1)."""
+        names = yield from self._module.list_names(prefix)
+        return {name: SegmentId(value) for name, value in names.items()}
+
+    # -- event-notification extension (paper §6.1 future work) ---------------------
+
+    def xpmem_subscribe(self, segid: SegmentId):
+        """Generator: register for the segid's doorbell (remote waiters)."""
+        yield from self._module.subscribe_signals(self.proc, segid)
+
+    def xpmem_signal(self, segid: SegmentId):
+        """Generator: ring the segid's doorbell, waking its waiters."""
+        yield from self._module.signal(self.proc, segid)
+
+    def xpmem_wait(self, segid: SegmentId):
+        """Generator: block until the doorbell rings (semaphore semantics)."""
+        yield from self._module.wait_signal(self.proc, segid)

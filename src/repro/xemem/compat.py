@@ -1,0 +1,142 @@
+"""Strict XPMEM C-API compatibility layer.
+
+The paper's compatibility claim (§4.1) is that XEMEM's API "is backwards
+compatible with the API exported by XPMEM", so unmodified applications
+deploy without knowing about enclaves. :class:`XpmemCompat` renders that
+claim literally: the SGI/Cray ``xpmem.h`` call shapes, C-style —
+
+* ``xpmem_make(vaddr, size, permit_type, permit_value) -> segid | -errno``
+* ``xpmem_remove(segid) -> 0 | -errno``
+* ``xpmem_get(segid, flags, permit_type, permit_value) -> apid | -errno``
+* ``xpmem_release(apid) -> 0 | -errno``
+* ``xpmem_attach(apid, offset, size, vaddr_hint) -> vaddr | -errno``
+* ``xpmem_detach(vaddr) -> 0 | -errno``
+
+Failures return negative errno values instead of raising; attach returns
+a virtual *address*, and detach takes that address back — exactly the C
+contract, down to ``XPMEM_PERMIT_MODE`` being the only supported permit
+type. The idiomatic Python surface is :class:`repro.xemem.api.XpmemApi`;
+this shim exists for porting code written against real XPMEM, and as an
+executable test of the compatibility claim.
+"""
+
+from __future__ import annotations
+
+import errno
+from typing import Dict, Optional
+
+from repro.xemem.api import XpmemApi
+from repro.xemem.ids import ApId, Permit, PermissionError_, SegmentId, XememError
+
+#: The only permit type XPMEM (and XEMEM) define.
+XPMEM_PERMIT_MODE = 0x1
+
+#: xpmem_get flags.
+XPMEM_RDONLY = 0x1
+XPMEM_RDWR = 0x2
+
+#: Current version of the emulated XPMEM interface (mirrors xpmem.h's
+#: XPMEM_CURRENT_VERSION encoding: major << 16 | minor).
+XPMEM_CURRENT_VERSION = (2 << 16) | 6
+
+
+def xpmem_version() -> int:
+    """The classic sanity-check entry point."""
+    return XPMEM_CURRENT_VERSION
+
+
+class XpmemCompat:
+    """C-shaped XPMEM interface bound to one process.
+
+    All methods are generators (simulation calls); their *return values*
+    follow the C convention: handles/addresses on success, ``-errno`` on
+    failure. Nothing raises for protocol-level errors.
+    """
+
+    def __init__(self, proc):
+        self._api = XpmemApi(proc)
+        self._attachments_by_vaddr: Dict[int, object] = {}
+
+    # -- exporter ------------------------------------------------------------------
+
+    def xpmem_make(self, vaddr: int, size: int, permit_type: int, permit_value: int):
+        """C shape: export a region; returns segid or -errno."""
+        if permit_type != XPMEM_PERMIT_MODE:
+            return -errno.EINVAL
+        try:
+            permit = Permit(mode=permit_value)
+        except ValueError:
+            return -errno.EINVAL
+        try:
+            segid = yield from self._api.xpmem_make(vaddr, size, permit=permit)
+        except XememError:
+            return -errno.EINVAL
+        return int(segid)
+
+    def xpmem_remove(self, segid: int):
+        """C shape: remove an exported segid; returns 0 or -errno."""
+        try:
+            yield from self._api.xpmem_remove(SegmentId(segid))
+        except (XememError, ValueError):
+            return -errno.EINVAL
+        return 0
+
+    # -- attacher ------------------------------------------------------------------
+
+    def xpmem_get(self, segid: int, flags: int, permit_type: int, _permit_value: int):
+        """C shape: request access; returns apid or -errno."""
+        if permit_type != XPMEM_PERMIT_MODE:
+            return -errno.EINVAL
+        if flags not in (XPMEM_RDONLY, XPMEM_RDWR):
+            return -errno.EINVAL
+        try:
+            apid = yield from self._api.xpmem_get(
+                SegmentId(segid), write=(flags == XPMEM_RDWR)
+            )
+        except PermissionError_:
+            return -errno.EACCES
+        except (XememError, ValueError):
+            return -errno.ENOENT
+        return int(apid)
+
+    def xpmem_release(self, apid: int):
+        """C shape: release a grant; returns 0 or -errno."""
+        try:
+            yield from self._api.xpmem_release(ApId(apid))
+        except XememError:
+            return -errno.EINVAL
+        return 0
+
+    def xpmem_attach(self, apid: int, offset: int, size: Optional[int],
+                     vaddr_hint: Optional[int] = None):
+        """Returns the attached virtual address (vaddr hints, like real
+        XPMEM, are advisory and ignored by this implementation)."""
+        del vaddr_hint
+        try:
+            att = yield from self._api.xpmem_attach(
+                ApId(apid), offset=offset, size=size
+            )
+        except XememError:
+            return -errno.EINVAL
+        self._attachments_by_vaddr[att.vaddr] = att
+        return att.vaddr
+
+    def xpmem_detach(self, vaddr: int):
+        att = self._attachments_by_vaddr.pop(vaddr, None)
+        if att is None:
+            return -errno.EINVAL
+        try:
+            yield from self._api.xpmem_detach(att)
+        except XememError:
+            return -errno.EINVAL
+        return 0
+
+    # -- reads/writes for tests (stand-in for dereferencing the vaddr) -------------
+
+    def deref(self, vaddr: int):
+        """The attachment object backing an attached address (the moral
+        equivalent of dereferencing the returned pointer)."""
+        att = self._attachments_by_vaddr.get(vaddr)
+        if att is None:
+            raise KeyError(f"no attachment at {vaddr:#x}")
+        return att

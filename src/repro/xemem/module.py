@@ -1,0 +1,762 @@
+"""The per-enclave XEMEM kernel module.
+
+One :class:`XememModule` sits in each enclave. It is simultaneously:
+
+* the **router** — implementing the §3.2 forwarding rule over the
+  enclave's channels, including the discovery protocol's pending-request
+  bookkeeping that builds routing maps as enclave IDs flow back;
+* the **name-server host** — on exactly one enclave, resolving
+  segid-addressed commands to their owner enclave (§4.2);
+* the **segment server** — serving remote attach requests by walking the
+  exporting process's page table to generate PFN lists (§4.3);
+* the **mapping client** — installing remote PFN lists into local
+  processes through the enclave kernel's own mapping routines, and
+  handling the *local* fast paths (SMARTMAP on Kitten, lazy VMAs on
+  Linux) when both processes share an enclave.
+
+Everything time-consuming is a generator run inside the simulation; all
+request/response pairs are correlated by ``req_id`` through the pending
+table, and responses route back through the name server exactly as the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.enclave.enclave import Channel, Enclave, KernelMessage
+from repro.kernels.pagetable import PAGE_SIZE
+from repro.xemem import commands as C
+from repro.xemem.ids import ApId, Permit, PermissionError_, SegmentId, XememError
+from repro.xemem.nameserver import NameServer
+from repro.xemem.routing import RoutingTable
+from repro.xemem.shmem import ApGrant, AttachedRegion, ExportedSegment
+
+
+class XememModule:
+    """The XEMEM service of one enclave."""
+
+    def __init__(self, enclave: Enclave, is_name_server: bool = False):
+        self.enclave = enclave
+        self.kernel = enclave.kernel
+        self.engine = enclave.engine
+        self.costs = self.kernel.costs
+        self.routing = RoutingTable()
+        self.nameserver: Optional[NameServer] = NameServer() if is_name_server else None
+        self.segments: Dict[int, ExportedSegment] = {}
+        self.grants: Dict[int, ApGrant] = {}
+        self._pending: Dict[str, object] = {}      # req_id -> Event
+        self._ping_pending: Dict[str, object] = {} # token -> Event
+        self._forwarded: Dict[str, Channel] = {}   # discovery req_id -> origin
+        self._req_counter = itertools.count()
+        self._apid_counter = itertools.count(1)
+        self._smartmap_refs: Dict[tuple, int] = {}
+        # -- event-notification extension state --
+        #: owner side: segid -> subscribed enclave ids
+        self._signal_subs: Dict[int, list] = {}
+        #: waiter side: segid -> (pending signal count, waiting Events)
+        self._signal_state: Dict[int, list] = {}
+        #: live attachment count per apid (release is refused while > 0)
+        self._live_attachments: Dict[int, int] = {}
+        self.stats = {
+            "attaches_served": 0,
+            "attaches_made": 0,
+            "messages_forwarded": 0,
+        }
+        enclave.module = self
+        enclave.set_receiver(self._receive)
+
+    # ------------------------------------------------------------------ identity
+
+    @property
+    def my_id(self) -> Optional[int]:
+        """This enclave's ID (None before discovery)."""
+        return self.enclave.enclave_id
+
+    @property
+    def is_name_server(self) -> bool:
+        """True on the single enclave hosting the name server."""
+        return self.nameserver is not None
+
+    def _next_req_id(self) -> str:
+        return f"{self.enclave.name}:{next(self._req_counter)}"
+
+    # ------------------------------------------------------------- message plumbing
+
+    def _receive(self, msg: KernelMessage, channel: Channel) -> None:
+        self.engine.spawn(
+            self._handle(msg, channel), name=f"xemem:{self.enclave.name}:{msg.kind}"
+        )
+
+    def _send(self, msg: KernelMessage):
+        """Generator: send one hop according to the routing rule."""
+        dst = msg.payload.get("dst")
+        if dst is None:
+            if self.is_name_server:
+                # we ARE the name server: resolve/handle without a hop
+                yield from self._handle_at_name_server(msg)
+                return
+            channel = self.routing.ns_channel
+            if channel is None:
+                raise XememError(
+                    f"enclave {self.enclave.name!r} has no name-server path"
+                )
+        elif dst == self.my_id:
+            # a response addressed to ourselves (e.g. the name server
+            # serving a segment it also owns): deliver locally
+            self.engine.spawn(
+                self._handle(msg, channel=None),
+                name=f"xemem-local:{msg.kind}",
+            )
+            return
+        else:
+            channel = self.routing.channel_for(dst)
+        yield from channel.send(self.enclave, msg)
+
+    def _spawn_send(self, msg: KernelMessage) -> None:
+        self.engine.spawn(self._send(msg), name=f"send:{msg.kind}")
+
+    def _request(self, msg: KernelMessage):
+        """Generator: send and wait for the correlated response.
+
+        Returns the response message; raises :class:`XememError` if the
+        response carries an error field.
+        """
+        req_id = msg.payload["req_id"]
+        event = self.engine.event(name=f"req:{req_id}")
+        self._pending[req_id] = event
+        yield from self._send(msg)
+        resp: KernelMessage = yield event
+        error = resp.payload.get("error")
+        if error is not None:
+            if "permission denied" in error:
+                raise PermissionError_(error)
+            raise XememError(error)
+        return resp
+
+    # ----------------------------------------------------------------- discovery
+
+    def discover(self):
+        """Generator: the paper's three discovery steps for this enclave."""
+        # (1) broadcast: find a channel with a path to the name server
+        token = self._next_req_id()
+        event = self.engine.event(name=f"ping:{token}")
+        self._ping_pending[token] = event
+        for channel in self.enclave.channels:
+            self._spawn_send_on(
+                channel, C.make_command(C.PING_NS_PATH, None, None, token=token)
+            )
+        first_channel: Channel = yield event
+        self.routing.ns_channel = first_channel
+        # (2) request an enclave ID through that channel
+        req_id = self._next_req_id()
+        event = self.engine.event(name=f"req:{req_id}")
+        self._pending[req_id] = event
+        yield from first_channel.send(
+            self.enclave, C.make_command(C.ALLOC_ENCLAVE_ID, None, None, req_id=req_id)
+        )
+        resp: KernelMessage = yield event
+        self.enclave.enclave_id = resp.payload["enclave_id"]
+        self.routing.discovered = True
+        return self.enclave.enclave_id
+
+    def _spawn_send_on(self, channel: Channel, msg: KernelMessage) -> None:
+        self.engine.spawn(channel.send(self.enclave, msg), name=f"send:{msg.kind}")
+
+    # ----------------------------------------------------------------- dispatch
+
+    def _handle(self, msg: KernelMessage, channel: Channel):
+        kind = msg.kind
+
+        # -- hop-by-hop discovery traffic (no enclave IDs exist yet) --------
+        if kind == C.PING_NS_PATH:
+            if self.routing.discovered:
+                yield from channel.send(
+                    self.enclave,
+                    C.make_command(
+                        C.PING_NS_PATH_ACK, None, None, token=msg.payload["token"]
+                    ),
+                )
+            return
+        if kind == C.PING_NS_PATH_ACK:
+            event = self._ping_pending.pop(msg.payload["token"], None)
+            if event is not None:
+                event.trigger(channel)
+            return
+        if kind == C.ALLOC_ENCLAVE_ID:
+            req_id = msg.payload["req_id"]
+            if self.is_name_server:
+                new_id = self.nameserver.alloc_enclave_id()
+                self.routing.learn(new_id, channel)
+                yield from channel.send(
+                    self.enclave,
+                    C.make_command(
+                        C.ENCLAVE_ID_ASSIGNED, self.my_id, None,
+                        req_id=req_id, enclave_id=new_id,
+                    ),
+                )
+            else:
+                self._forwarded[req_id] = channel
+                yield from self._send(msg)
+            return
+        if kind == C.ENCLAVE_ID_ASSIGNED:
+            req_id = msg.payload["req_id"]
+            if req_id in self._pending:
+                self._pending.pop(req_id).trigger(msg)
+                return
+            origin = self._forwarded.pop(req_id, None)
+            if origin is None:
+                raise XememError(f"stray enclave-id assignment {req_id}")
+            # learn the route to the newly assigned enclave (§3.2)
+            self.routing.learn(msg.payload["enclave_id"], origin)
+            yield from origin.send(self.enclave, msg)
+            return
+
+        # -- addressed traffic ------------------------------------------------
+        dst = msg.payload.get("dst")
+        if dst is None and not self.is_name_server:
+            self.stats["messages_forwarded"] += 1
+            yield from self._send(msg)
+            return
+        if dst is None and self.is_name_server:
+            yield from self._handle_at_name_server(msg)
+            return
+        if dst != self.my_id:
+            self.stats["messages_forwarded"] += 1
+            yield from self._send(msg)
+            return
+
+        # -- mine -------------------------------------------------------------
+        reply_to = msg.payload.get("reply_to")
+        if reply_to is not None:
+            event = self._pending.pop(reply_to, None)
+            if event is None:
+                raise XememError(f"stray response {reply_to} at {self.enclave.name}")
+            event.trigger(msg)
+            return
+        yield from self._serve(msg)
+
+    def _handle_at_name_server(self, msg: KernelMessage):
+        """NS-addressed commands: resolve or answer (§4.2)."""
+        ns = self.nameserver
+        kind = msg.kind
+        if kind in C.SEGID_ADDRESSED:
+            try:
+                owner = ns.owner_of(msg.payload["segid"])
+            except XememError as err:
+                if kind == C.RELEASE_REQ:
+                    # releasing a grant on an already-removed segid is
+                    # fine: the grant is gone either way (idempotent)
+                    self._spawn_send(C.make_response(msg, self.my_id, ok=True))
+                else:
+                    self._spawn_send(C.make_response(msg, self.my_id, error=str(err)))
+                return
+            if owner == self.my_id:
+                yield from self._serve(msg)
+            else:
+                msg.payload["dst"] = owner
+                self.stats["messages_forwarded"] += 1
+                yield from self._send(msg)
+            return
+        if kind == C.ALLOC_SEGID:
+            try:
+                segid = ns.alloc_segid(
+                    msg.payload["src"],
+                    msg.payload["npages"],
+                    msg.payload.get("name"),
+                )
+                self._spawn_send(C.make_response(msg, self.my_id, segid=int(segid)))
+            except XememError as err:
+                self._spawn_send(C.make_response(msg, self.my_id, error=str(err)))
+            return
+        if kind == C.REMOVE_SEGID:
+            try:
+                ns.remove_segid(msg.payload["segid"], msg.payload["src"])
+                self._spawn_send(C.make_response(msg, self.my_id, ok=True))
+            except XememError as err:
+                self._spawn_send(C.make_response(msg, self.my_id, error=str(err)))
+            return
+        if kind == C.LOOKUP_NAME:
+            segid = ns.lookup_name(msg.payload["name"])
+            self._spawn_send(C.make_response(msg, self.my_id, segid=segid))
+            return
+        if kind == C.LIST_NAMES:
+            names = ns.list_names(msg.payload.get("prefix", ""))
+            self._spawn_send(C.make_response(msg, self.my_id, names=names))
+            return
+        if kind == C.ENCLAVE_DEPART:
+            departing = msg.payload["src"]
+            purged = [
+                sid for sid, rec in list(ns.segids.items())
+                if rec.owner_enclave_id == departing
+            ]
+            for sid in purged:
+                ns.remove_segid(sid, departing)
+            # routing entries are purged by EnclaveSystem.shutdown_enclave
+            # once the ack has been delivered (the ack still needs them)
+            self._spawn_send(
+                C.make_response(msg, self.my_id, purged_segids=len(purged))
+            )
+            return
+        raise XememError(f"name server cannot handle {kind!r}")
+        yield  # pragma: no cover
+
+    # ----------------------------------------------------------------- serving
+
+    def _serve(self, msg: KernelMessage):
+        """Requests addressed to this enclave as a segment owner."""
+        kind = msg.kind
+        if kind == C.GET_REQ:
+            seg = self.segments.get(msg.payload["segid"])
+            if seg is None or seg.removed:
+                self._spawn_send(
+                    C.make_response(msg, self.my_id, error="unknown or removed segid")
+                )
+                return
+            if not seg.permit.allows(msg.payload["write"], is_owner=False):
+                self._spawn_send(
+                    C.make_response(msg, self.my_id, error="permission denied")
+                )
+                return
+            seg.grants_out += 1
+            self._spawn_send(C.make_response(msg, self.my_id, npages=seg.npages))
+            return
+        if kind == C.ATTACH_REQ:
+            yield from self._serve_attach(msg)
+            return
+        if kind == C.RELEASE_REQ:
+            seg = self.segments.get(msg.payload["segid"])
+            if seg is not None and seg.grants_out > 0:
+                seg.grants_out -= 1
+            self._spawn_send(C.make_response(msg, self.my_id, ok=True))
+            return
+        if kind == C.NOTIFY_SUBSCRIBE:
+            segid = msg.payload["segid"]
+            if segid not in self.segments:
+                self._spawn_send(
+                    C.make_response(msg, self.my_id, error="unknown segid")
+                )
+                return
+            subs = self._signal_subs.setdefault(segid, [])
+            if msg.payload["src"] not in subs:
+                subs.append(msg.payload["src"])
+            self._spawn_send(C.make_response(msg, self.my_id, ok=True))
+            return
+        if kind == C.SIGNAL_REQ:
+            segid = msg.payload["segid"]
+            if segid not in self.segments:
+                self._spawn_send(
+                    C.make_response(msg, self.my_id, error="unknown segid")
+                )
+                return
+            self._fan_out_signal(segid, exclude=None)
+            self._spawn_send(C.make_response(msg, self.my_id, ok=True))
+            return
+        if kind == C.SEGID_NOTIFY:
+            self._deliver_signal(msg.payload["segid"])
+            return
+        raise XememError(f"enclave {self.enclave.name!r} cannot serve {kind!r}")
+
+    def _serve_attach(self, msg: KernelMessage):
+        """Owner side of Fig. 3 steps 5–6: walk pages, return the PFN list."""
+        seg = self.segments.get(msg.payload["segid"])
+        if seg is None or seg.removed:
+            self._spawn_send(
+                C.make_response(msg, self.my_id, error="unknown or removed segid")
+            )
+            return
+        offset_pages = msg.payload["offset_pages"]
+        npages = msg.payload["npages"]
+        if offset_pages < 0 or npages <= 0 or offset_pages + npages > seg.npages:
+            self._spawn_send(
+                C.make_response(msg, self.my_id, error="attach range outside segment")
+            )
+            return
+        pfns = yield from self.kernel.walk_for_export(
+            seg.proc, seg.vaddr + offset_pages * PAGE_SIZE, npages
+        )
+        self.stats["attaches_served"] += 1
+        yield from self._send(C.make_response(msg, self.my_id, pfns=pfns))
+
+    # ============================================================== user operations
+
+    def make(self, proc, vaddr: int, nbytes: int, permit: Permit = Permit(),
+             name: Optional[str] = None):
+        """Generator: export [vaddr, vaddr+nbytes) → :class:`ExportedSegment`."""
+        if vaddr % PAGE_SIZE or nbytes <= 0:
+            raise XememError(f"export range [{vaddr:#x}, +{nbytes}) not page aligned")
+        npages = -(-nbytes // PAGE_SIZE)
+        yield self.engine.sleep(self.costs.export_fixed_ns)
+        if self.is_name_server:
+            segid = self.nameserver.alloc_segid(self.my_id, npages, name)
+        else:
+            resp = yield from self._request(
+                C.make_command(
+                    C.ALLOC_SEGID, self.my_id, None,
+                    req_id=self._next_req_id(), npages=npages, name=name,
+                )
+            )
+            segid = SegmentId(resp.payload["segid"])
+        seg = ExportedSegment(segid, proc, vaddr, npages, permit, name)
+        self.segments[int(segid)] = seg
+        return seg
+
+    def remove(self, proc, seg: ExportedSegment):
+        """Generator: ``xpmem_remove`` — retire the segid."""
+        if seg.proc is not proc:
+            raise XememError("only the exporting process may remove a segment")
+        if seg.removed:
+            raise XememError(f"{seg.segid!r} already removed")
+        seg.removed = True
+        self.segments.pop(int(seg.segid), None)
+        if self.is_name_server:
+            self.nameserver.remove_segid(int(seg.segid), self.my_id)
+            yield self.engine.sleep(self.costs.detach_fixed_ns)
+        else:
+            yield from self._request(
+                C.make_command(
+                    C.REMOVE_SEGID, self.my_id, None,
+                    req_id=self._next_req_id(), segid=int(seg.segid),
+                )
+            )
+
+    def lookup(self, name: str):
+        """Generator: discoverability — find a segid by registered name."""
+        if self.is_name_server:
+            yield self.engine.sleep(self.costs.detach_fixed_ns)
+            segid = self.nameserver.lookup_name(name)
+        else:
+            resp = yield from self._request(
+                C.make_command(
+                    C.LOOKUP_NAME, self.my_id, None,
+                    req_id=self._next_req_id(), name=name,
+                )
+            )
+            segid = resp.payload["segid"]
+        return None if segid is None else SegmentId(segid)
+
+    def list_names(self, prefix: str = ""):
+        """Generator: discoverability — all registered segment names."""
+        if self.is_name_server:
+            yield self.engine.sleep(self.costs.detach_fixed_ns)
+            return self.nameserver.list_names(prefix)
+        resp = yield from self._request(
+            C.make_command(
+                C.LIST_NAMES, self.my_id, None,
+                req_id=self._next_req_id(), prefix=prefix,
+            )
+        )
+        return resp.payload["names"]
+
+    def get(self, proc, segid: SegmentId, write: bool = True):
+        """Generator: ``xpmem_get`` — request access, returns an ApId."""
+        local = self.segments.get(int(segid))
+        if local is not None:
+            if not local.permit.allows(write, is_owner=local.proc is proc):
+                raise PermissionError_(f"permission denied for {segid!r}")
+            local.grants_out += 1
+            npages = local.npages
+            yield self.engine.sleep(self.costs.detach_fixed_ns)
+        else:
+            resp = yield from self._request(
+                C.make_command(
+                    C.GET_REQ, self.my_id, None,
+                    req_id=self._next_req_id(), segid=int(segid), write=write,
+                )
+            )
+            npages = resp.payload["npages"]
+        apid = ApId((self.my_id << 20) | next(self._apid_counter))
+        self.grants[int(apid)] = ApGrant(
+            apid, segid, proc, npages, write, owner_is_local=local is not None
+        )
+        return apid
+
+    def release(self, proc, apid: ApId):
+        """Generator: ``xpmem_release`` — drop a grant.
+
+        Refused while attachments made under the grant are still mapped
+        (XPMEM semantics: detach before release)."""
+        grant = self._grant_of(proc, apid)
+        if self._live_attachments.get(int(apid), 0) > 0:
+            raise XememError(
+                f"{apid!r} still has {self._live_attachments[int(apid)]} live "
+                "attachment(s); xpmem_detach them first"
+            )
+        grant.released = True
+        del self.grants[int(apid)]
+        if grant.owner_is_local:
+            seg = self.segments.get(int(grant.segid))
+            if seg is not None and seg.grants_out > 0:
+                seg.grants_out -= 1
+            yield self.engine.sleep(self.costs.detach_fixed_ns)
+        else:
+            yield from self._request(
+                C.make_command(
+                    C.RELEASE_REQ, self.my_id, None,
+                    req_id=self._next_req_id(), segid=int(grant.segid),
+                )
+            )
+
+    def attach(self, proc, apid: ApId, offset: int = 0, nbytes: Optional[int] = None):
+        """Generator: ``xpmem_attach`` — map (a window of) the segment.
+
+        Local segments use the enclave OS's own conventions (SMARTMAP on
+        Kitten, a lazy VMA on Linux); remote segments run the full Fig. 3
+        protocol and map the returned PFN list eagerly.
+        """
+        grant = self._grant_of(proc, apid)
+        if offset % PAGE_SIZE:
+            raise XememError(f"attach offset {offset:#x} not page aligned")
+        offset_pages = offset // PAGE_SIZE
+        npages = (
+            grant.npages - offset_pages
+            if nbytes is None
+            else -(-nbytes // PAGE_SIZE)
+        )
+        if offset_pages < 0 or npages <= 0 or offset_pages + npages > grant.npages:
+            raise XememError("attach range outside segment")
+        yield self.engine.sleep(self.costs.attach_fixed_ns)
+        if grant.owner_is_local:
+            attached = yield from self._attach_local(proc, grant, offset_pages, npages)
+        else:
+            attached = yield from self._attach_remote(proc, grant, offset_pages, npages)
+        self.stats["attaches_made"] += 1
+        self._live_attachments[int(grant.apid)] = (
+            self._live_attachments.get(int(grant.apid), 0) + 1
+        )
+        return attached
+
+    def _attach_local(self, proc, grant: ApGrant, offset_pages: int, npages: int):
+        seg = self.segments.get(int(grant.segid))
+        if seg is None or seg.removed:
+            raise XememError(f"{grant.segid!r} removed")
+        if self.kernel.kernel_type == "kitten":
+            # SMARTMAP: O(1) whole-address-space aliasing (§4.3)
+            key = (proc.pid, seg.proc.pid)
+            if self._smartmap_refs.get(key, 0) == 0:
+                self.kernel.smartmap_attach(proc, seg.proc)
+            self._smartmap_refs[key] = self._smartmap_refs.get(key, 0) + 1
+            vaddr = self.kernel.smartmap_address(
+                seg.proc, seg.vaddr + offset_pages * PAGE_SIZE
+            )
+            pfns = seg.proc.aspace.table.translate_range(
+                seg.vaddr + offset_pages * PAGE_SIZE, npages
+            )
+            view = self.kernel.mem.map_region(pfns)
+            return AttachedRegion(
+                grant.apid, grant.segid, proc, vaddr, npages,
+                kind="smartmap", view=view, smartmap_donor=seg.proc,
+            )
+        # Linux local path: pin the exporter's pages, then lazily map them
+        pfns = yield from self.kernel.walk_for_export(
+            seg.proc, seg.vaddr + offset_pages * PAGE_SIZE, npages,
+            core=self.kernel.node.core(proc.core_id),
+        )
+        region = yield from self.kernel.attach_local_lazy(
+            proc, pfns, name=f"xemem:{int(grant.segid):#x}"
+        )
+        view = self.kernel.mem.map_region(pfns)
+        return AttachedRegion(
+            grant.apid, grant.segid, proc, region.start, npages,
+            kind="linux-lazy", region=region, local_pfns=pfns, view=view,
+        )
+
+    def _attach_remote(self, proc, grant: ApGrant, offset_pages: int, npages: int):
+        resp = yield from self._request(
+            C.make_command(
+                C.ATTACH_REQ, self.my_id, None,
+                req_id=self._next_req_id(), segid=int(grant.segid),
+                offset_pages=offset_pages, npages=npages,
+            )
+        )
+        pfns = resp.pfns
+        if pfns is None or len(pfns) != npages:
+            raise XememError("malformed attach response")
+        extra = (
+            self.costs.guest_map_install_per_page_ns
+            - self.costs.map_install_per_page_ns
+            if getattr(self.kernel, "virtualized", False)
+            else 0
+        )
+        region = yield from self.kernel.map_remote_pfns(
+            proc, pfns, name=f"xemem:{int(grant.segid):#x}",
+            core=self.kernel.node.core(proc.core_id),
+            extra_per_page_ns=extra,
+        )
+        view = self.kernel.mem.map_region(pfns)
+        return AttachedRegion(
+            grant.apid, grant.segid, proc, region.start, npages,
+            kind="remote", region=region, local_pfns=pfns, view=view,
+        )
+
+    def detach(self, proc, attached: AttachedRegion):
+        """Generator: ``xpmem_detach`` — unmap an attachment."""
+        if attached.detached:
+            raise XememError("already detached")
+        if attached.proc is not proc:
+            raise XememError("only the attaching process may detach")
+        attached.detached = True
+        live = self._live_attachments.get(int(attached.apid), 0)
+        if live > 0:
+            self._live_attachments[int(attached.apid)] = live - 1
+        if attached.kind == "smartmap":
+            key = (proc.pid, attached.smartmap_donor.pid)
+            refs = self._smartmap_refs.get(key, 0)
+            if refs <= 0:
+                raise XememError("SMARTMAP refcount underflow")
+            self._smartmap_refs[key] = refs - 1
+            if refs == 1:
+                self.kernel.smartmap_detach(proc, attached.smartmap_donor)
+            yield self.engine.sleep(self.costs.detach_fixed_ns)
+            return
+        yield from self.kernel.unmap_attachment(proc, attached.region)
+        if attached.kind == "remote" and getattr(self.kernel, "virtualized", False):
+            # drop the guest-physical alias Palacios created for this attach
+            yield from self.kernel.vmm.unmap_guest_attachment(attached.local_pfns)
+
+    # ================================================== event-notification extension
+    #
+    # The paper's §6.1 notes that its OS/Rs "only support application
+    # communication through shared memory, and thus operations like event
+    # notifications must be supported via ad hoc techniques like polling"
+    # and promises to "investigate techniques to support additional
+    # features". This is that feature: kernel-level doorbells on a segid.
+    # Waiters subscribe once (a routed message to the owner); every signal
+    # fans out one message per subscribed enclave. Semaphore semantics —
+    # a signal raised before anyone waits is not lost.
+
+    def _signal_cell(self, segid: int) -> list:
+        return self._signal_state.setdefault(int(segid), [0, []])
+
+    def _deliver_signal(self, segid: int) -> None:
+        cell = self._signal_cell(segid)
+        if cell[1]:
+            cell[1].pop(0).trigger(None)
+        else:
+            cell[0] += 1
+
+    def _fan_out_signal(self, segid: int, exclude) -> None:
+        """Owner side: wake local waiters, notify remote subscribers.
+
+        Notifications are lossy toward departed enclaves (their routes
+        are gone); that mirrors real doorbells — nobody is listening.
+        """
+        self._deliver_signal(segid)
+        for enclave_id in self._signal_subs.get(int(segid), []):
+            if enclave_id == exclude:
+                continue
+            msg = C.make_command(
+                C.SEGID_NOTIFY, self.my_id, enclave_id, segid=int(segid)
+            )
+
+            def lossy_send(msg=msg):
+                from repro.enclave.enclave import ChannelClosedError
+                from repro.xemem.routing import RoutingError
+
+                try:
+                    yield from self._send(msg)
+                except (RoutingError, ChannelClosedError):
+                    pass
+
+            self.engine.spawn(lossy_send(), name="notify")
+
+    def subscribe_signals(self, proc, segid: SegmentId):
+        """Generator: register this enclave for ``segid``'s doorbell.
+
+        Local waiters of the owning enclave need no subscription; remote
+        waiters subscribe once and then receive every signal as a routed
+        one-way message.
+        """
+        if int(segid) in self.segments:
+            yield self.engine.sleep(self.costs.detach_fixed_ns)
+            return True
+        yield from self._request(
+            C.make_command(
+                C.NOTIFY_SUBSCRIBE, self.my_id, None,
+                req_id=self._next_req_id(), segid=int(segid),
+            )
+        )
+        return True
+
+    def signal(self, proc, segid: SegmentId):
+        """Generator: ring the segid's doorbell (wakes all waiters once)."""
+        if int(segid) in self.segments:
+            self._fan_out_signal(int(segid), exclude=None)
+            yield self.engine.sleep(self.costs.detach_fixed_ns)
+            return
+        yield from self._request(
+            C.make_command(
+                C.SIGNAL_REQ, self.my_id, None,
+                req_id=self._next_req_id(), segid=int(segid),
+            )
+        )
+
+    def wait_signal(self, proc, segid: SegmentId):
+        """Generator: block until the segid's doorbell rings.
+
+        Consumes one pending signal if present (semaphore semantics).
+        The waiter must have subscribed first unless it is in the owning
+        enclave.
+        """
+        cell = self._signal_cell(int(segid))
+        if cell[0] > 0:
+            cell[0] -= 1
+            return
+        event = self.engine.event(name=f"signal:{int(segid):#x}")
+        cell[1].append(event)
+        yield event
+
+    # ============================================================ enclave lifecycle
+
+    def shutdown(self, force: bool = False):
+        """Generator: deregister this enclave from the XEMEM name space.
+
+        The paper's §3.2 expects node partitions to be *dynamic*; this is
+        the departure half. All locally exported segments are retired at
+        the name server. By default, shutdown refuses while other
+        enclaves hold grants on local segments (their mappings would
+        dangle); ``force=True`` overrides for failure-injection tests.
+        """
+        outstanding = sum(seg.grants_out for seg in self.segments.values())
+        if outstanding and not force:
+            raise XememError(
+                f"enclave {self.enclave.name!r} has {outstanding} outstanding "
+                "grant(s) on its segments; detach/release first (or force)"
+            )
+        if self.is_name_server:
+            raise XememError("the name-server enclave cannot depart")
+        # retire every owned segid in one departure message
+        yield from self._request(
+            C.make_command(
+                C.ENCLAVE_DEPART, self.my_id, None, req_id=self._next_req_id()
+            )
+        )
+        self.segments.clear()
+        self.routing.discovered = False
+        return True
+
+    def _grant_of(self, proc, apid: ApId) -> ApGrant:
+        grant = self.grants.get(int(apid))
+        if grant is None:
+            raise XememError(f"unknown {apid!r}")
+        if grant.proc is not proc:
+            raise XememError(f"{apid!r} belongs to {grant.proc!r}")
+        return grant
+
+
+def install_xemem(system, run_discovery_now: bool = True) -> Dict[str, XememModule]:
+    """Put a module on every enclave; optionally run discovery. Returns
+    {enclave name: module}."""
+    if system.name_server_enclave is None:
+        raise XememError("designate a name-server enclave first")
+    modules = {}
+    for enclave in system.enclaves:
+        modules[enclave.name] = XememModule(
+            enclave, is_name_server=enclave is system.name_server_enclave
+        )
+    if run_discovery_now:
+        system.run_discovery()
+    return modules

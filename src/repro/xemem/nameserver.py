@@ -1,0 +1,119 @@
+"""The centralized XEMEM name server (paper §3.1, §4.2).
+
+One instance lives inside the XEMEM module of the designated name-server
+enclave. It is the single authority for:
+
+* **enclave IDs** — allocated during topology discovery (§3.2);
+* **segids** — globally unique segment identifiers, so no two enclaves
+  can ever collide regardless of local pid/address reuse;
+* **the segid→owner map** — used to re-address segment commands to the
+  owning enclave;
+* **discoverability** — optional human-readable names attached to
+  segments, queryable by any process on any enclave ("the name server
+  can be queried for information regarding the existence and names of
+  shared memory regions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.xemem.ids import SEGID_BASE, SegmentId, XememError
+
+
+@dataclass
+class SegidRecord:
+    """One registered segment: owner enclave, span, optional name."""
+    segid: SegmentId
+    owner_enclave_id: int
+    npages: int
+    name: Optional[str] = None
+
+
+class NameServer:
+    """Authoritative state; all methods are pure bookkeeping (no sim time —
+    the message round trips to reach the server carry the cost)."""
+
+    def __init__(self) -> None:
+        self._next_enclave_id = 1  # the name server's own enclave is 0
+        self._next_segid = SEGID_BASE
+        self.segids: Dict[int, SegidRecord] = {}
+        self._names: Dict[str, int] = {}
+        #: enclave id -> channel, maintained by the NS enclave's module.
+        self.stats = {"segids_allocated": 0, "lookups": 0, "removed": 0}
+
+    # -- enclave ids -----------------------------------------------------------
+
+    def alloc_enclave_id(self) -> int:
+        """Hand out the next enclave ID (discovery protocol)."""
+        eid = self._next_enclave_id
+        self._next_enclave_id += 1
+        return eid
+
+    # -- segids ------------------------------------------------------------------
+
+    def alloc_segid(self, owner_enclave_id: int, npages: int,
+                    name: Optional[str] = None) -> SegmentId:
+        """Register a new globally unique segid for ``owner_enclave_id``."""
+        if npages <= 0:
+            raise XememError(f"segment must span at least one page, got {npages}")
+        if name is not None:
+            if name in self._names:
+                raise XememError(f"segment name {name!r} already registered")
+        segid = SegmentId(self._next_segid)
+        self._next_segid += 1
+        self.segids[int(segid)] = SegidRecord(segid, owner_enclave_id, npages, name)
+        if name is not None:
+            self._names[name] = int(segid)
+        self.stats["segids_allocated"] += 1
+        return segid
+
+    def owner_of(self, segid: int) -> int:
+        """The enclave ID owning ``segid``; raises XememError if unknown."""
+        rec = self.segids.get(int(segid))
+        if rec is None:
+            raise XememError(f"unknown segid {int(segid):#x}")
+        return rec.owner_enclave_id
+
+    def npages_of(self, segid: int) -> int:
+        """The registered page span of ``segid``."""
+        rec = self.segids.get(int(segid))
+        if rec is None:
+            raise XememError(f"unknown segid {int(segid):#x}")
+        return rec.npages
+
+    def remove_segid(self, segid: int, enclave_id: int) -> None:
+        """Retire a segid; only its owner enclave may do so."""
+        rec = self.segids.get(int(segid))
+        if rec is None:
+            raise XememError(f"unknown segid {int(segid):#x}")
+        if rec.owner_enclave_id != enclave_id:
+            raise XememError(
+                f"enclave {enclave_id} does not own segid {int(segid):#x}"
+            )
+        del self.segids[int(segid)]
+        if rec.name is not None:
+            self._names.pop(rec.name, None)
+        self.stats["removed"] += 1
+
+    def lookup_name(self, name: str) -> Optional[int]:
+        """Discoverability: segid registered under ``name``, or None."""
+        self.stats["lookups"] += 1
+        return self._names.get(name)
+
+    def list_names(self, prefix: str = "") -> Dict[str, int]:
+        """Discoverability: every registered name (optionally filtered by
+        prefix) with its segid — "the existence and names of shared
+        memory regions" (§3.1)."""
+        self.stats["lookups"] += 1
+        return {
+            name: segid
+            for name, segid in sorted(self._names.items())
+            if name.startswith(prefix)
+        }
+
+    @property
+    def live_segments(self) -> int:
+        """Number of currently registered segments."""
+        return len(self.segids)

@@ -1,0 +1,89 @@
+"""Hierarchical command routing and topology discovery (paper §3.2).
+
+Each enclave keeps a :class:`RoutingTable`: the channel it reaches the
+name server through, plus a map from enclave IDs to the local channel
+that leads toward them. The routing rule is the paper's verbatim: *"When
+an enclave receives a message, it searches its map for the destination
+enclave ID. If it finds the enclave ID, it forwards the message along the
+associated communication channel for that enclave. Otherwise, it
+forwards the message through the channel used to reach the name server."*
+
+Discovery is the paper's three steps per enclave: (1) broadcast on every
+channel to find a path to the name server, (2) request an enclave ID
+through that channel, (3) every forwarder remembers which channel the
+request came from, so when the assigned ID flows back it learns the
+route. :func:`run_discovery` drives the whole system through those
+steps, breadth-first from the name server so a path always exists by the
+time an enclave broadcasts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from repro.enclave.enclave import Channel, Enclave
+
+
+class RoutingError(RuntimeError):
+    """A message could not be routed (undiscovered enclave, no NS path)."""
+
+
+class RoutingTable:
+    """One enclave's routing state."""
+
+    def __init__(self) -> None:
+        #: Channel leading toward the name server (None on the NS itself).
+        self.ns_channel: Optional[Channel] = None
+        #: enclave id -> channel leading toward that enclave.
+        self.routes: Dict[int, Channel] = {}
+        self.discovered = False
+
+    def learn(self, enclave_id: int, channel: Channel) -> None:
+        """Record that ``enclave_id`` is reached via ``channel``."""
+        self.routes[enclave_id] = channel
+
+    def channel_for(self, dst_enclave_id: int) -> Channel:
+        """The §3.2 routing rule."""
+        channel = self.routes.get(dst_enclave_id)
+        if channel is not None:
+            return channel
+        if self.ns_channel is None:
+            raise RoutingError(
+                f"no route to enclave {dst_enclave_id} and no name-server path"
+            )
+        return self.ns_channel
+
+
+def run_discovery(system) -> Dict[str, int]:
+    """Run discovery for every enclave; returns {enclave name: id}.
+
+    The name-server enclave gets ID 0 outright; the rest proceed in BFS
+    order from it, each running the module-level discovery exchange
+    (broadcast → ID request → routed assignment) as a simulated process.
+    """
+    ns_enclave: Enclave = system.name_server_enclave
+    engine = system.engine
+
+    ns_enclave.enclave_id = 0
+    ns_enclave.module.routing.discovered = True
+
+    # BFS order guarantees each enclave has a discovered neighbor.
+    order = []
+    seen = {id(ns_enclave)}
+    queue = deque([ns_enclave])
+    while queue:
+        cur = queue.popleft()
+        for channel in cur.channels:
+            nxt = channel.other(cur)
+            if id(nxt) not in seen:
+                seen.add(id(nxt))
+                order.append(nxt)
+                queue.append(nxt)
+
+    for enclave in order:
+        engine.run_process(
+            enclave.module.discover(), name=f"discover:{enclave.name}"
+        )
+
+    return {e.name: e.enclave_id for e in system.enclaves}

@@ -1,0 +1,64 @@
+"""Tests for the standard experiment rigs."""
+
+import pytest
+
+from repro.bench.configs import (
+    ANALYTICS_SLOWDOWN,
+    INSITU_CONFIG_NAMES,
+    build_cokernel_system,
+    build_insitu_rig,
+)
+from repro.hw.costs import GB, MB
+from repro.workloads.hpccg import HpccgProblem
+from repro.workloads.insitu import InSituConfig
+
+
+def test_cokernel_rig_shape():
+    rig = build_cokernel_system(num_cokernels=2)
+    assert rig.linux.kernel.kernel_type == "linux"
+    assert len(rig.cokernels) == 2
+    assert rig.system.cokernel_count == 2
+    # co-kernels are single-core, per the Fig. 6 configuration
+    for enclave in rig.cokernels:
+        assert len(enclave.kernel.cores) == 1
+    # discovery ran
+    assert all(e.enclave_id is not None for e in rig.system.enclaves)
+
+
+def test_cokernel_rig_numa_split():
+    rig = build_cokernel_system(num_cokernels=1)
+    linux_zone = rig.node.memory.zone_of_pfn(rig.linux.kernel.allocator.start_pfn)
+    kitten_zone = rig.node.memory.zone_of_pfn(
+        rig.cokernels[0].kernel.allocator.start_pfn
+    )
+    assert linux_zone.zone_id == 0
+    assert kitten_zone.zone_id == 1
+
+
+def test_cokernel_rig_with_noise():
+    rig = build_cokernel_system(num_cokernels=1, with_noise=True, seed=3)
+    kitten = rig.cokernels[0].kernel
+    assert kitten.noise_sources  # installed
+
+
+def test_vm_on_kitten_gets_extra_memory():
+    rig = build_cokernel_system(num_cokernels=1, with_vm=True, vm_host="kitten")
+    assert rig.vm is not None
+    assert rig.vm.kernel.virtualized
+
+
+@pytest.mark.parametrize("name", INSITU_CONFIG_NAMES)
+def test_insitu_rig_analytics_slowdown_applied(name):
+    cfg = InSituConfig(iterations=20, comm_interval=20, data_bytes=4 * MB,
+                       problem=HpccgProblem(8, 8, 8))
+    rig = build_insitu_rig(name, cfg, seed=1)
+    assert cfg.analytics_slowdown == ANALYTICS_SLOWDOWN[name]
+    wl = rig["workload"]
+    if name == "linux_linux":
+        assert wl.sim_enclave is wl.analytics_enclave
+    else:
+        assert wl.sim_enclave is not wl.analytics_enclave
+    if name.startswith("kitten"):
+        assert wl.sim_enclave.kernel.kernel_type == "kitten"
+    if "vm" in name:
+        assert getattr(wl.analytics_enclave.kernel, "virtualized", False)

@@ -1,0 +1,88 @@
+"""Small-scale exercises of every figure generator (fast; the real runs
+live in benchmarks/). These pin the generators' data shapes and
+determinism so benchmark failures can be triaged to model vs harness."""
+
+import pytest
+
+from repro.bench.figures import (
+    fig5_throughput,
+    fig6_scalability,
+    fig7_noise,
+    fig8_single_node,
+    fig9_multi_node,
+    table2_vm_throughput,
+)
+from repro.hw.costs import GB, MB
+from repro.workloads.hpccg import HpccgProblem
+
+
+def test_fig5_shape_small():
+    r = fig5_throughput(reps=2, sizes=(64 * MB, 128 * MB))
+    assert len(r.attach_gib_s) == len(r.sizes_bytes) == 2
+    assert all(x > 0 for x in r.attach_gib_s + r.attach_read_gib_s + r.rdma_gib_s)
+
+
+def test_fig5_deterministic():
+    a = fig5_throughput(reps=2, sizes=(64 * MB,))
+    b = fig5_throughput(reps=2, sizes=(64 * MB,))
+    assert a.attach_gib_s == b.attach_gib_s
+    assert a.rdma_gib_s == b.rdma_gib_s
+
+
+def test_fig6_shape_small():
+    r = fig6_scalability(reps=2, enclave_counts=(1, 2), sizes=(64 * MB,))
+    assert r.enclave_counts == [1, 2]
+    assert len(r.throughput[64 * MB]) == 2
+
+
+def test_table2_shape_small():
+    r = table2_vm_throughput(reps=1, size_bytes=64 * MB)
+    assert len(r.rows) == 3
+    pairs = {(row.exporting, row.attaching) for row in r.rows}
+    assert pairs == {
+        ("Kitten", "Linux"),
+        ("Kitten", "Linux (VM)"),
+        ("Linux (VM)", "Kitten"),
+    }
+    vm_row = next(row for row in r.rows if row.attaching == "Linux (VM)")
+    assert vm_row.gib_s_without_rb is not None
+    assert vm_row.gib_s_without_rb > vm_row.gib_s
+
+
+def test_fig7_shape_small():
+    r = fig7_noise(duration_s=2, attach_sizes=(4096, 2 * MB))
+    assert set(r.attach_detour_us) == {"4KB", "2MB"}
+    assert r.detours  # something happened
+    assert all(t < 2.0 for t, _d, _s in r.detours)
+
+
+def test_fig8_shape_small():
+    r = fig8_single_node(
+        runs=1,
+        configs=("kitten_linux",),
+        executions=("async",),
+        attaches=("one_time",),
+        iterations=40,
+        comm_interval=20,
+        data_bytes=8 * MB,
+    )
+    assert len(r.cells) == 1
+    cell = r.cell("kitten_linux", "async", "one_time")
+    assert cell.mean_s > 0
+    with pytest.raises(KeyError):
+        r.cell("nope", "async", "one_time")
+
+
+def test_fig9_shape_small():
+    r = fig9_multi_node(
+        runs=1,
+        node_counts=(1, 2),
+        modes=("multi_enclave",),
+        attaches=("one_time",),
+        iterations=20,
+        comm_interval=10,
+        data_bytes=8 * MB,
+    )
+    series = r.series("multi_enclave", "one_time")
+    assert [p.nodes for p in series] == [1, 2]
+    assert all(p.mean_s > 0 for p in series)

@@ -1,0 +1,54 @@
+"""Tests for the ASCII plot renderers."""
+
+import pytest
+
+from repro.bench.plot import render_lines, render_scatter
+
+
+def test_scatter_places_extremes():
+    text = render_scatter(
+        {"a": [(0.0, 1.0), (10.0, 100.0)]},
+        width=20, height=10,
+    )
+    lines = [l for l in text.splitlines() if "|" in l]
+    # max lands on the top row, min on the bottom row
+    assert "o" in lines[0]
+    assert "o" in lines[-1]
+    top = lines[0].split("|", 1)[1]
+    bottom = lines[-1].split("|", 1)[1]
+    assert top.rstrip().endswith("o")      # max at max x
+    assert bottom.strip().startswith("o")  # min at min x
+
+
+def test_scatter_log_scale_axis_labels():
+    text = render_scatter(
+        {"s": [(0.0, 1.0), (1.0, 10_000.0)]},
+        log_y=True,
+    )
+    assert "10^4.0" in text
+    assert "10^0.0" in text
+
+
+def test_scatter_legend_and_marks():
+    text = render_scatter(
+        {"alpha": [(0, 1)], "beta": [(1, 2)]},
+    )
+    assert "o=alpha" in text and "x=beta" in text
+
+
+def test_scatter_validation():
+    with pytest.raises(ValueError):
+        render_scatter({})
+    with pytest.raises(ValueError):
+        render_scatter({"a": [(0.0, -1.0)]}, log_y=True)
+
+
+def test_render_lines_wrapper():
+    text = render_lines({"up": [1.0, 2.0, 3.0]}, xs=[1, 2, 4], title="T")
+    assert text.startswith("T")
+    assert "o=up" in text
+
+
+def test_degenerate_single_point():
+    text = render_scatter({"p": [(5.0, 7.0)]})
+    assert "o" in text

@@ -1,0 +1,57 @@
+"""Tests for the text report renderer."""
+
+from repro.bench.report import render_series, render_table
+
+
+def test_render_table_alignment_and_floats():
+    text = render_table(
+        ["name", "value"],
+        [["alpha", 1.23456], ["b", 7]],
+        title="Title",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "-+-" in lines[2]
+    assert "1.235" in text  # floats at 3 decimals
+    assert "7" in text
+    # columns align: header and rows have the same width
+    assert len(set(len(line) for line in lines[1:])) <= 2
+
+
+def test_render_series_column_per_name():
+    text = render_series(
+        {"a": [1.0, 2.0], "b": [3.0, 4.0]},
+        x_label="n",
+        xs=[10, 20],
+    )
+    assert "n" in text and "a" in text and "b" in text
+    assert "10" in text and "4.000" in text
+
+
+def test_render_table_empty_rows():
+    text = render_table(["x"], [])
+    assert "x" in text
+
+
+def test_render_bars_scaling_and_baseline():
+    from repro.bench.report import render_bars
+
+    text = render_bars(
+        [("short", 140.0), ("long", 160.0)], width=10, unit="s", baseline=140.0
+    )
+    lines = text.splitlines()
+    assert lines[0].count("#") == 0        # at the baseline
+    assert lines[1].count("#") == 10       # full width at the max
+    assert "160.00s" in lines[1]
+    assert "bars start at 140" in lines[2]
+
+
+def test_render_bars_validation():
+    from repro.bench.report import render_bars
+    import pytest
+
+    with pytest.raises(ValueError):
+        render_bars([])
+    with pytest.raises(ValueError):
+        render_bars([("a", 1.0)], baseline=2.0)

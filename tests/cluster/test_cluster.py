@@ -1,0 +1,109 @@
+"""Integration tests for the multi-node cluster (small scale)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.rdma import RdmaBandwidthTest
+from repro.hw.costs import CostModel, MB
+from repro.sim import Engine
+from repro.workloads.hpccg import HpccgProblem
+
+
+def small_cluster_config(**kw):
+    defaults = dict(
+        nodes=2,
+        enclave_mode="linux_only",
+        iterations=30,
+        comm_interval=10,
+        data_bytes=32 * MB,
+        problem=HpccgProblem(24, 24, 24),
+        sim_ncores=8,
+        seed=4,
+    )
+    defaults.update(kw)
+    return ClusterConfig(**defaults)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(enclave_mode="bare")
+    with pytest.raises(ValueError):
+        ClusterConfig(nodes=0)
+
+
+def test_linux_only_cluster_runs():
+    res = Cluster(small_cluster_config()).run()
+    assert res.completion_s > 0
+    assert len(res.per_node) == 2
+    assert all(r.data_marks_verified for r in res.per_node)
+    assert res.completion_s == max(r.sim_time_s for r in res.per_node)
+    assert res.mean_sim_time_s <= res.completion_s
+
+
+def test_multi_enclave_cluster_runs():
+    res = Cluster(small_cluster_config(enclave_mode="multi_enclave")).run()
+    assert all(r.data_marks_verified for r in res.per_node)
+
+
+def test_multi_enclave_sim_is_in_a_vm():
+    cluster = Cluster(small_cluster_config(enclave_mode="multi_enclave", nodes=1))
+    sim_kernel = cluster.workloads[0].sim_enclave.kernel
+    assert getattr(sim_kernel, "virtualized", False)
+    ana_kernel = cluster.workloads[0].analytics_enclave.kernel
+    assert ana_kernel.kernel_type == "linux" and not getattr(
+        ana_kernel, "virtualized", False
+    )
+
+
+def test_collectives_count_matches_iterations():
+    cfg = small_cluster_config(nodes=2)
+    cluster = Cluster(cfg)
+    cluster.run()
+    assert cluster.mpi.collectives == cfg.iterations
+
+
+def test_nodes_complete_together_via_allreduce():
+    """Per-iteration allreduce forces lockstep: node completion times are
+    nearly identical even with different noise seeds."""
+    res = Cluster(small_cluster_config(nodes=4)).run()
+    times = [r.sim_time_s for r in res.per_node]
+    assert max(times) - min(times) < 0.05 * max(times)
+
+
+def test_noise_amplification_direction():
+    """More Linux-only nodes => more cluster time (same per-node work)."""
+    t1 = Cluster(small_cluster_config(nodes=1)).run().completion_s
+    t4 = Cluster(small_cluster_config(nodes=4)).run().completion_s
+    assert t4 > t1
+
+
+def test_deterministic_given_seed():
+    a = Cluster(small_cluster_config(nodes=2)).run().completion_s
+    b = Cluster(small_cluster_config(nodes=2)).run().completion_s
+    assert a == b
+
+
+def test_rdma_bandwidth_near_configured_rate():
+    eng = Engine()
+    costs = CostModel()
+    test = RdmaBandwidthTest(eng, costs)
+
+    def run():
+        result = yield from test.run(64 * MB, repetitions=20)
+        return result
+
+    result = eng.run_process(run())
+    gib = result.bandwidth_gib_s
+    cfg = costs.rdma_bw_bytes_per_s / (1024**3)
+    assert gib == pytest.approx(cfg, rel=0.02)
+
+
+def test_rdma_validation():
+    eng = Engine()
+    test = RdmaBandwidthTest(eng, CostModel())
+
+    def run():
+        yield from test.run(1024, repetitions=0)
+
+    with pytest.raises(ValueError):
+        eng.run_process(run())

@@ -1,0 +1,149 @@
+"""Tests for the MPI collectives model."""
+
+import pytest
+
+from repro.cluster import MpiWorld
+from repro.hw.costs import CostModel
+from repro.sim import Engine
+
+
+def test_allreduce_releases_all_at_max_plus_cost():
+    eng = Engine()
+    costs = CostModel()
+    world = MpiWorld(eng, 3, costs)
+    finish = {}
+
+    def rank(r, arrive_at):
+        yield eng.sleep(arrive_at)
+        yield from world.allreduce(8)
+        finish[r] = eng.now
+
+    eng.spawn(rank(0, 100))
+    eng.spawn(rank(1, 500))
+    eng.spawn(rank(2, 300))
+    eng.run()
+    cost = world.collective_cost_ns(8)
+    assert cost > 0
+    assert finish == {0: 500 + cost, 1: 500 + cost, 2: 500 + cost}
+    assert world.collectives == 1
+
+
+def test_collective_cost_log_tree():
+    eng = Engine()
+    costs = CostModel()
+    w2 = MpiWorld(eng, 2, costs)
+    w8 = MpiWorld(eng, 8, costs)
+    assert w8.collective_cost_ns(8) == 3 * w2.collective_cost_ns(8)
+    w1 = MpiWorld(eng, 1, costs)
+    assert w1.collective_cost_ns(8) == 0
+
+
+def test_single_rank_allreduce_is_instantish():
+    eng = Engine()
+    world = MpiWorld(eng, 1, CostModel())
+
+    def rank():
+        yield from world.allreduce(8)
+        return eng.now
+
+    assert eng.run_process(rank()) == 0
+
+
+def test_repeated_collectives_track_generations():
+    eng = Engine()
+    world = MpiWorld(eng, 2, CostModel())
+    log = []
+
+    def rank(r):
+        for i in range(5):
+            yield eng.sleep(10 * (r + 1))
+            yield from world.allreduce(8)
+            log.append((i, r, eng.now))
+
+    eng.spawn(rank(0))
+    eng.spawn(rank(1))
+    eng.run()
+    assert world.collectives == 5
+    # both ranks observe identical completion times per generation
+    for i in range(5):
+        times = {t for (g, _r, t) in log if g == i}
+        assert len(times) == 1
+
+
+def test_barrier_and_wait_accounting():
+    eng = Engine()
+    world = MpiWorld(eng, 2, CostModel())
+
+    def fast():
+        yield from world.barrier()
+
+    def slow():
+        yield eng.sleep(1000)
+        yield from world.barrier()
+
+    eng.spawn(fast())
+    eng.spawn(slow())
+    eng.run()
+    assert world.total_wait_ns >= 1000  # the fast rank waited
+
+
+def test_bad_rank_count():
+    with pytest.raises(ValueError):
+        MpiWorld(Engine(), 0, CostModel())
+
+
+def test_exchange_pairs_release_together():
+    eng = Engine()
+    costs = CostModel()
+    world = MpiWorld(eng, 2, costs)
+    done = {}
+
+    def rank(r, arrive_at):
+        yield eng.sleep(arrive_at)
+        yield from world.exchange(r, 1 - r, 8192)
+        done[r] = eng.now
+
+    eng.spawn(rank(0, 100))
+    eng.spawn(rank(1, 700))
+    eng.run()
+    cost = costs.mpi_latency_ns + int(8192 * 1e9 / costs.mpi_bw_bytes_per_s)
+    assert done == {0: 700 + cost, 1: 700 + cost}
+    assert world.exchanges == 2
+
+
+def test_exchange_chain_no_deadlock():
+    """The HPCCG halo pattern: every rank exchanges with both neighbors."""
+    eng = Engine()
+    world = MpiWorld(eng, 4, CostModel())
+    finished = []
+
+    def rank(r):
+        for _ in range(3):  # three "iterations"
+            for peer in (r - 1, r + 1):
+                if 0 <= peer < 4:
+                    yield from world.exchange(r, peer, 4096)
+            yield from world.allreduce(16)
+        finished.append(r)
+
+    for r in range(4):
+        eng.spawn(rank(r))
+    eng.run()
+    assert sorted(finished) == [0, 1, 2, 3]
+    assert world.collectives == 3
+
+
+def test_exchange_validation():
+    eng = Engine()
+    world = MpiWorld(eng, 2, CostModel())
+
+    def bad_self():
+        yield from world.exchange(0, 0, 8)
+
+    with pytest.raises(ValueError):
+        eng.run_process(bad_self())
+
+    def bad_peer():
+        yield from world.exchange(0, 5, 8)
+
+    with pytest.raises(ValueError):
+        eng.run_process(bad_peer())

@@ -1,0 +1,88 @@
+"""Unit tests for the cost model: calibration invariants live here.
+
+These tests pin the calibration of DESIGN.md §4 so that accidental edits
+to constants that would break figure shapes fail loudly.
+"""
+
+import pytest
+
+from repro.hw.costs import CostModel, DEFAULT_COSTS, GB, PAGE_4K, gib_per_s
+
+
+def test_native_attach_pipeline_lands_near_13_gbps():
+    c = CostModel()
+    per_page = c.native_attach_per_page_ns()
+    gbps = gib_per_s(PAGE_4K, per_page)
+    assert 12.5 <= gbps <= 13.8
+
+
+def test_attach_read_gap_is_about_one_gbps():
+    c = CostModel()
+    attach = c.native_attach_per_page_ns()
+    combined = attach + c.page_touch_ns
+    gap = gib_per_s(PAGE_4K, attach) - gib_per_s(PAGE_4K, combined)
+    assert 0.5 <= gap <= 1.6
+
+
+def test_gib_per_s_helper():
+    assert gib_per_s(GB, 1e9) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        gib_per_s(1, 0)
+
+
+def test_fixed_cost_negligible_at_128mb():
+    """Fig. 5 is flat because fixed costs vanish against per-page work."""
+    c = CostModel()
+    pages = c.pages_of(128 * 1024 * 1024)
+    per_page_total = pages * c.native_attach_per_page_ns()
+    assert c.attach_fixed_ns / per_page_total < 0.005
+
+
+def test_one_gb_walk_matches_fig7_detour_band():
+    """A 1 GB attachment steals ~23-24 ms from the exporting Kitten core."""
+    c = CostModel()
+    pages = c.pages_of(1 * GB)
+    walk_ns = pages * c.walk_per_page_ns
+    assert 20e6 <= walk_ns <= 26e6
+
+
+def test_rdma_baseline_band():
+    c = CostModel()
+    assert 3.0e9 <= c.rdma_bw_bytes_per_s <= 3.6e9
+
+
+def test_pages_of_rounds_up():
+    c = CostModel()
+    assert c.pages_of(1) == 1
+    assert c.pages_of(PAGE_4K) == 1
+    assert c.pages_of(PAGE_4K + 1) == 2
+
+
+def test_pfn_list_chunks():
+    c = CostModel()
+    pfns_per_chunk = c.channel_chunk_bytes // 8
+    assert c.pfn_list_chunks(1) == 1
+    assert c.pfn_list_chunks(pfns_per_chunk) == 1
+    assert c.pfn_list_chunks(pfns_per_chunk + 1) == 2
+
+
+def test_validate_rejects_negative():
+    c = CostModel(walk_per_page_ns=-1)
+    with pytest.raises(ValueError):
+        c.validate()
+
+
+def test_validate_rejects_ragged_chunk():
+    c = CostModel(channel_chunk_bytes=100)
+    with pytest.raises(ValueError):
+        c.validate()
+
+
+def test_default_costs_valid():
+    DEFAULT_COSTS.validate()
+
+
+def test_memcpy_and_rdma_helpers():
+    c = CostModel()
+    assert c.memcpy_ns(c.memcpy_bw_bytes_per_s) == pytest.approx(1e9)
+    assert c.rdma_transfer_ns(0) == c.rdma_post_ns

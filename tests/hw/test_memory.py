@@ -1,0 +1,275 @@
+"""Unit tests for physical memory, frame allocation, and mapped regions."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    FrameAllocator,
+    FrameRange,
+    OutOfMemoryError,
+    PhysicalMemory,
+)
+from repro.hw.costs import MB, PAGE_4K
+from repro.hw.memory import pfns_to_ranges, ranges_to_pfns
+
+
+# -- FrameRange ---------------------------------------------------------------
+
+
+def test_frame_range_properties():
+    r = FrameRange(10, 5)
+    assert r.end_pfn == 15
+    assert r.nbytes == 5 * PAGE_4K
+    assert list(r.pfns()) == [10, 11, 12, 13, 14]
+
+
+def test_frame_range_validation():
+    with pytest.raises(ValueError):
+        FrameRange(0, 0)
+    with pytest.raises(ValueError):
+        FrameRange(-1, 1)
+
+
+def test_frame_range_overlap():
+    assert FrameRange(0, 10).overlaps(FrameRange(9, 1))
+    assert not FrameRange(0, 10).overlaps(FrameRange(10, 1))
+
+
+def test_ranges_pfns_roundtrip():
+    ranges = [FrameRange(0, 3), FrameRange(10, 2), FrameRange(12, 1)]
+    pfns = ranges_to_pfns(ranges)
+    assert list(pfns) == [0, 1, 2, 10, 11, 12]
+    # 10,11,12 coalesce into one run on the way back
+    back = pfns_to_ranges(pfns)
+    assert back == [FrameRange(0, 3), FrameRange(10, 3)]
+
+
+def test_empty_ranges_to_pfns():
+    assert len(ranges_to_pfns([])) == 0
+    assert pfns_to_ranges(np.empty(0, dtype=np.int64)) == []
+
+
+# -- FrameAllocator -----------------------------------------------------------
+
+
+def test_alloc_contiguous_first_fit():
+    a = FrameAllocator(0, 100)
+    r1 = a.alloc(10)
+    r2 = a.alloc(20)
+    assert (r1.start_pfn, r1.nframes) == (0, 10)
+    assert (r2.start_pfn, r2.nframes) == (10, 20)
+    assert a.free_frames == 70
+    assert a.used_frames == 30
+
+
+def test_alloc_exhaustion():
+    a = FrameAllocator(0, 10)
+    a.alloc(10)
+    with pytest.raises(OutOfMemoryError):
+        a.alloc(1)
+
+
+def test_alloc_contiguous_fails_on_fragmentation():
+    a = FrameAllocator(0, 30)
+    r1 = a.alloc(10)
+    r2 = a.alloc(10)
+    r3 = a.alloc(10)
+    a.free(r1)
+    a.free(r3)
+    # 20 frames free but max contiguous run is 10
+    assert a.free_frames == 20
+    with pytest.raises(OutOfMemoryError):
+        a.alloc(15)
+    del r2
+
+
+def test_free_coalesces():
+    a = FrameAllocator(0, 30)
+    r1 = a.alloc(10)
+    r2 = a.alloc(10)
+    r3 = a.alloc(10)
+    a.free(r1)
+    a.free(r3)
+    a.free(r2)  # bridges both neighbours
+    assert a.free_frames == 30
+    assert a.alloc(30).nframes == 30
+
+
+def test_double_free_detected():
+    a = FrameAllocator(0, 10)
+    r = a.alloc(5)
+    a.free(r)
+    with pytest.raises(ValueError, match="double free"):
+        a.free(r)
+
+
+def test_free_outside_window_rejected():
+    a = FrameAllocator(100, 10)
+    with pytest.raises(ValueError, match="outside"):
+        a.free(FrameRange(0, 5))
+
+
+def test_alloc_pages_spans_fragments():
+    a = FrameAllocator(0, 30)
+    r1 = a.alloc(10)
+    _r2 = a.alloc(10)
+    r3 = a.alloc(10)
+    a.free(r1)
+    a.free(r3)
+    got = a.alloc_pages(15)
+    assert sum(r.nframes for r in got) == 15
+    assert got[0] == FrameRange(0, 10)
+    assert got[1] == FrameRange(20, 5)
+
+
+def test_alloc_scattered_is_single_frames():
+    a = FrameAllocator(0, 16)
+    got = a.alloc_scattered(5)
+    assert all(r.nframes == 1 for r in got)
+    assert len(got) == 5
+
+
+def test_alloc_pages_insufficient():
+    a = FrameAllocator(0, 10)
+    with pytest.raises(OutOfMemoryError):
+        a.alloc_pages(11)
+
+
+def test_allocator_reuse_cycle():
+    a = FrameAllocator(0, 64)
+    for _ in range(50):
+        got = a.alloc_pages(64, max_run=7)
+        a.free_all(got)
+    assert a.free_frames == 64
+    assert a.alloc(64).nframes == 64
+
+
+# -- PhysicalMemory and NUMA ----------------------------------------------------
+
+
+def test_numa_zone_layout():
+    mem = PhysicalMemory([16 * MB, 16 * MB])
+    assert mem.total_frames == 2 * 16 * MB // PAGE_4K
+    z0, z1 = mem.zones
+    assert z0.start_pfn == 0
+    assert z1.start_pfn == z0.nframes
+    assert mem.zone_of_pfn(0) is z0
+    assert mem.zone_of_pfn(z1.start_pfn) is z1
+
+
+def test_zone_of_bad_pfn():
+    mem = PhysicalMemory([1 * MB])
+    with pytest.raises(ValueError):
+        mem.zone_of_pfn(10**9)
+
+
+def test_bad_zone_sizes_rejected():
+    with pytest.raises(ValueError):
+        PhysicalMemory([])
+    with pytest.raises(ValueError):
+        PhysicalMemory([PAGE_4K + 1])
+
+
+def test_frame_view_is_writable_and_aliases():
+    mem = PhysicalMemory([1 * MB])
+    view = mem.frame_view(3)
+    view[:] = 0xAB
+    again = mem.frame_view(3)
+    assert (again == 0xAB).all()
+    assert (mem.frame_view(2) == 0).all()  # neighbour untouched, zero-filled
+
+
+def test_backing_store_is_sparse():
+    mem = PhysicalMemory([1024 * MB])
+    assert mem.resident_frames == 0
+    mem.frame_view(7)[:] = 1
+    assert mem.resident_frames == 1
+
+
+def test_frame_view_bounds():
+    mem = PhysicalMemory([1 * MB])
+    with pytest.raises(ValueError):
+        mem.frame_view(-1)
+    with pytest.raises(ValueError):
+        mem.frame_view(mem.total_frames)
+
+
+# -- MappedRegion ----------------------------------------------------------------
+
+
+def make_region(nframes=4, scattered=True):
+    mem = PhysicalMemory([4 * MB])
+    alloc = mem.zones[0].allocator
+    ranges = alloc.alloc_scattered(nframes) if scattered else [alloc.alloc(nframes)]
+    return mem, mem.map_region(ranges_to_pfns(ranges))
+
+
+def test_region_write_read_roundtrip():
+    _mem, region = make_region()
+    data = bytes(range(256)) * 32  # 8 KiB, crosses page boundary
+    region.write(100, data)
+    assert region.read(100, len(data)) == data
+
+
+def test_region_write_spanning_pages():
+    _mem, region = make_region(nframes=2)
+    data = b"x" * PAGE_4K + b"y" * 10
+    region.write(PAGE_4K - 5, data[: PAGE_4K + 5])
+    assert region.read(PAGE_4K - 5, PAGE_4K + 5) == data[: PAGE_4K + 5]
+
+
+def test_region_bounds_checked():
+    _mem, region = make_region(nframes=1)
+    with pytest.raises(ValueError):
+        region.read(PAGE_4K, 1)
+    with pytest.raises(ValueError):
+        region.write(-1, b"a")
+    with pytest.raises(ValueError):
+        region.read(0, PAGE_4K + 1)
+
+
+def test_two_mappings_alias_same_frames():
+    """The zero-copy property: aliased mappings see each other's stores."""
+    mem, region = make_region(nframes=3)
+    alias = mem.map_region(region.pfns)
+    region.write(5000, b"hello enclave")
+    assert alias.read(5000, 13) == b"hello enclave"
+    alias.write(0, b"reply")
+    assert region.read(0, 5) == b"reply"
+
+
+def test_mapping_with_permuted_pfns_differs():
+    mem, region = make_region(nframes=2)
+    swapped = mem.map_region(region.pfns[::-1])
+    region.write(0, b"A")  # page 0 of region = page 1 of swapped
+    assert swapped.read(PAGE_4K, 1) == b"A"
+
+
+def test_region_fill_and_checksum():
+    _mem, region = make_region(nframes=2)
+    region.fill(0)
+    c0 = region.checksum()
+    region.write(123, b"\x01")
+    assert region.checksum() != c0
+
+
+def test_as_array_gathers_everything():
+    _mem, region = make_region(nframes=2)
+    region.write(0, b"\x11" * PAGE_4K)
+    region.write(PAGE_4K, b"\x22" * PAGE_4K)
+    arr = region.as_array()
+    assert arr.shape == (2 * PAGE_4K,)
+    assert (arr[:PAGE_4K] == 0x11).all()
+    assert (arr[PAGE_4K:] == 0x22).all()
+
+
+def test_empty_mapping_rejected():
+    mem = PhysicalMemory([1 * MB])
+    with pytest.raises(ValueError):
+        mem.map_region(np.empty(0, dtype=np.int64))
+
+
+def test_mapping_outside_memory_rejected():
+    mem = PhysicalMemory([1 * MB])
+    with pytest.raises(ValueError):
+        mem.map_region(np.array([mem.total_frames], dtype=np.int64))

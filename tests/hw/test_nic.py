@@ -1,0 +1,84 @@
+"""Unit tests for the InfiniBand NIC / RDMA model."""
+
+import pytest
+
+from repro.hw import InfinibandNic
+from repro.hw.costs import CostModel, GB, MB
+from repro.sim import Engine
+from repro.sim.engine import NS_PER_SEC
+
+
+def test_rdma_write_bandwidth_matches_model():
+    eng = Engine()
+    costs = CostModel()
+    nic = InfinibandNic(eng, costs)
+
+    def proc():
+        yield from nic.vf(0).rdma_write(1 * GB)
+        return eng.now
+
+    elapsed = eng.run_process(proc())
+    implied_bw = 1 * GB / (elapsed / NS_PER_SEC)
+    # Should sit just under the configured 3.4 GB/s (posting latency)
+    assert implied_bw == pytest.approx(costs.rdma_bw_bytes_per_s, rel=0.01)
+    assert nic.bytes_on_wire == 1 * GB
+
+
+def test_rdma_segmentation_count():
+    eng = Engine()
+    nic = InfinibandNic(eng, CostModel())
+
+    def proc():
+        nsegs = yield from nic.vf(0).rdma_write(10 * 4096 + 1)
+        return nsegs
+
+    assert eng.run_process(proc()) == 11
+
+
+def test_concurrent_vfs_share_the_link():
+    """Two VFs writing simultaneously each see about half the bandwidth."""
+    eng = Engine()
+    costs = CostModel()
+    nic = InfinibandNic(eng, costs, num_vfs=2)
+    done = {}
+
+    def writer(vf_id):
+        yield from nic.vf(vf_id).rdma_write(256 * MB)
+        done[vf_id] = eng.now
+
+    eng.spawn(writer(0))
+    eng.spawn(writer(1))
+    eng.run()
+    serial_ns = 256 * MB * 1e9 / costs.rdma_bw_bytes_per_s
+    # second finisher waited for the first: total ~2x a single transfer
+    assert max(done.values()) == pytest.approx(2 * serial_ns, rel=0.05)
+
+
+def test_bad_rdma_size():
+    eng = Engine()
+    nic = InfinibandNic(eng, CostModel())
+
+    def proc():
+        yield from nic.vf(0).rdma_write(0)
+
+    with pytest.raises(ValueError):
+        eng.run_process(proc())
+
+
+def test_vf_accounting():
+    eng = Engine()
+    nic = InfinibandNic(eng, CostModel())
+
+    def proc():
+        yield from nic.vf(0).rdma_write(1 * MB)
+        yield from nic.vf(0).rdma_write(1 * MB)
+
+    eng.run_process(proc())
+    assert nic.vf(0).bytes_sent == 2 * MB
+    assert nic.vf(0).ops_posted == 2
+
+
+def test_num_vfs_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        InfinibandNic(eng, CostModel(), num_vfs=0)

@@ -1,0 +1,59 @@
+"""Property-based tests: FrameAllocator invariants under random workloads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.memory import FrameAllocator, FrameRange, OutOfMemoryError
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_alloc_free_never_loses_or_duplicates_frames(data):
+    """Random alloc/free interleavings: allocated ranges never overlap,
+    and freeing everything restores the full pool."""
+    total = data.draw(st.integers(16, 512))
+    alloc = FrameAllocator(0, total)
+    live = []
+    for _ in range(data.draw(st.integers(1, 40))):
+        if live and data.draw(st.booleans()):
+            idx = data.draw(st.integers(0, len(live) - 1))
+            for rng in live.pop(idx):
+                alloc.free(rng)
+        else:
+            want = data.draw(st.integers(1, max(1, total // 4)))
+            kind = data.draw(st.sampled_from(["contig", "pages", "scattered"]))
+            try:
+                if kind == "contig":
+                    got = [alloc.alloc(want)]
+                elif kind == "pages":
+                    got = alloc.alloc_pages(want)
+                else:
+                    got = alloc.alloc_scattered(want)
+            except OutOfMemoryError:
+                continue
+            live.append(got)
+        # invariant: live allocations are disjoint
+        taken = np.zeros(total, dtype=bool)
+        for group in live:
+            for rng in group:
+                window = taken[rng.start_pfn : rng.end_pfn]
+                assert not window.any(), "overlapping allocation"
+                taken[rng.start_pfn : rng.end_pfn] = True
+        # invariant: free + used == total
+        assert alloc.free_frames + int(taken.sum()) == total
+    for group in live:
+        for rng in group:
+            alloc.free(rng)
+    assert alloc.free_frames == total
+    assert alloc.alloc(total).nframes == total
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 64), st.integers(130, 400))
+def test_scattered_frames_are_pairwise_nonadjacent(n, total):
+    alloc = FrameAllocator(0, total)
+    got = alloc.alloc_scattered(n)
+    pfns = sorted(r.start_pfn for r in got)
+    assert all(r.nframes == 1 for r in got)
+    assert all(b - a >= 2 for a, b in zip(pfns, pfns[1:]))

@@ -1,0 +1,47 @@
+"""Property test: MappedRegion behaves exactly like a flat bytearray."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.costs import MB, PAGE_4K
+from repro.hw.memory import PhysicalMemory, ranges_to_pfns
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_region_matches_reference_bytearray(data):
+    npages = data.draw(st.integers(1, 8))
+    mem = PhysicalMemory([2 * MB])
+    ranges = mem.zones[0].allocator.alloc_scattered(npages)
+    region = mem.map_region(ranges_to_pfns(ranges))
+    reference = bytearray(npages * PAGE_4K)
+
+    for _ in range(data.draw(st.integers(1, 12))):
+        offset = data.draw(st.integers(0, region.nbytes - 1))
+        length = data.draw(st.integers(1, min(3 * PAGE_4K, region.nbytes - offset)))
+        if data.draw(st.booleans()):
+            payload = bytes(
+                data.draw(st.binary(min_size=length, max_size=length))
+            )
+            region.write(offset, payload)
+            reference[offset : offset + length] = payload
+        else:
+            assert region.read(offset, length) == bytes(
+                reference[offset : offset + length]
+            )
+    assert region.read(0, region.nbytes) == bytes(reference)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 6), st.integers(0, 2**32 - 1))
+def test_aliased_regions_always_agree(npages, seed):
+    mem = PhysicalMemory([2 * MB])
+    pfns = ranges_to_pfns(mem.zones[0].allocator.alloc_scattered(npages))
+    a = mem.map_region(pfns)
+    b = mem.map_region(pfns)
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 256, size=npages * PAGE_4K, dtype=np.uint8).tobytes()
+    a.write(0, payload)
+    assert b.read(0, len(payload)) == payload
+    assert a.checksum() == b.checksum()

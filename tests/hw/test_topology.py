@@ -1,0 +1,95 @@
+"""Unit tests for node topology, cores, steal logs, and specs."""
+
+import pytest
+
+from repro.hw import NodeHardware, OPTIPLEX_SPEC, R420_SPEC
+from repro.hw.costs import GB
+from repro.sim import Engine
+
+
+def test_r420_spec_matches_paper():
+    # §5.1: dual-socket 6-core with HT = 24 threads, 2x16 GB NUMA
+    assert R420_SPEC.total_threads == 24
+    assert R420_SPEC.total_memory_bytes == 32 * GB
+    assert R420_SPEC.sockets == 2
+
+
+def test_optiplex_spec_matches_paper():
+    # §6.3: single-socket 4-core with HT = 8 threads, 8 GB
+    assert OPTIPLEX_SPEC.total_threads == 8
+    assert OPTIPLEX_SPEC.total_memory_bytes == 8 * GB
+
+
+def test_node_assembly():
+    eng = Engine()
+    node = NodeHardware(eng, R420_SPEC)
+    assert len(node.cores) == 24
+    assert len(node.sockets) == 2
+    assert len(node.socket_cores(0)) == 12
+    assert node.memory.total_bytes == 32 * GB
+    assert len(node.memory.zones) == 2
+    # socket i's cores point at socket i
+    assert all(c.socket_id == 0 for c in node.socket_cores(0))
+    assert all(c.socket_id == 1 for c in node.socket_cores(1))
+
+
+def test_core_ids_are_global_and_ordered():
+    eng = Engine()
+    node = NodeHardware(eng, R420_SPEC)
+    assert [c.core_id for c in node.cores] == list(range(24))
+    assert node.core(5) is node.cores[5]
+
+
+def test_free_cores_tracks_ownership():
+    eng = Engine()
+    node = NodeHardware(eng, OPTIPLEX_SPEC)
+    assert len(node.free_cores()) == 8
+    node.cores[0].owner = "linux"
+    assert len(node.free_cores()) == 7
+
+
+def test_core_occupy_logs_steal():
+    eng = Engine()
+    node = NodeHardware(eng, OPTIPLEX_SPEC)
+    core = node.core(0)
+
+    def proc():
+        yield eng.sleep(100)
+        yield from core.occupy(500, "xemem-walk")
+
+    eng.run_process(proc())
+    assert core.steal_log == [(100, 500, "xemem-walk")]
+
+
+def test_core_occupy_serializes():
+    eng = Engine()
+    node = NodeHardware(eng, OPTIPLEX_SPEC)
+    core = node.core(0)
+
+    def worker():
+        yield from core.occupy(100, "w")
+
+    eng.spawn(worker())
+    eng.spawn(worker())
+    eng.run()
+    starts = sorted(s for s, _d, _t in core.steal_log)
+    assert starts == [0, 100]
+
+
+def test_stolen_between_window_clipping():
+    eng = Engine()
+    node = NodeHardware(eng, OPTIPLEX_SPEC)
+    core = node.core(0)
+    core.log_steal(100, 50, "a")   # [100,150)
+    core.log_steal(300, 100, "b")  # [300,400)
+    assert core.stolen_between(0, 1000) == 150
+    assert core.stolen_between(120, 320) == 30 + 20
+    assert core.stolen_between(150, 300) == 0
+    assert core.stolen_between(0, 1000, tags=["b"]) == 100
+
+
+def test_negative_steal_rejected():
+    eng = Engine()
+    node = NodeHardware(eng, OPTIPLEX_SPEC)
+    with pytest.raises(ValueError):
+        node.core(0).log_steal(0, -1, "x")

@@ -1,0 +1,28 @@
+"""Shared fixtures: a node with one Linux and one Kitten kernel on it."""
+
+import pytest
+
+from repro.hw import NodeHardware, R420_SPEC
+from repro.hw.memory import FrameAllocator
+from repro.kernels import KittenKernel, LinuxKernel
+from repro.sim import Engine
+
+
+def carve_allocator(node: NodeHardware, zone_id: int, nframes: int) -> FrameAllocator:
+    """Give a kernel a private window of a NUMA zone's frames."""
+    rng = node.memory.zone(zone_id).allocator.alloc(nframes)
+    return FrameAllocator(rng.start_pfn, rng.nframes)
+
+
+@pytest.fixture
+def rig():
+    """(engine, node, linux, kitten) with partitioned cores and memory."""
+    eng = Engine()
+    node = NodeHardware(eng, R420_SPEC)
+    linux = LinuxKernel(
+        eng, node, node.cores[:4], carve_allocator(node, 0, 65536), name="linux"
+    )
+    kitten = KittenKernel(
+        eng, node, node.cores[4:6], carve_allocator(node, 0, 65536), name="kitten"
+    )
+    return eng, node, linux, kitten

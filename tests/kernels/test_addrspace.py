@@ -1,0 +1,118 @@
+"""Unit tests for address-space regions and placement."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.addrspace import AddressSpace, Region, RegionKind
+from repro.kernels.pagetable import PAGE_SIZE, PageFault
+
+
+def test_region_basics():
+    r = Region(0x4000, 4, RegionKind.STATIC, "heap")
+    assert r.end == 0x4000 + 4 * PAGE_SIZE
+    assert r.nbytes == 4 * PAGE_SIZE
+    assert r.contains(0x4000) and not r.contains(r.end)
+    assert r.page_index(0x4000 + PAGE_SIZE) == 1
+    with pytest.raises(ValueError):
+        r.page_index(0x0)
+
+
+def test_region_validation():
+    with pytest.raises(ValueError):
+        Region(0x4001, 1, RegionKind.LAZY)
+    with pytest.raises(ValueError):
+        Region(0x4000, 0, RegionKind.LAZY)
+
+
+def test_add_region_rejects_overlap():
+    a = AddressSpace()
+    a.add_region(0x4000, 10, RegionKind.STATIC, "one")
+    with pytest.raises(ValueError, match="overlaps"):
+        a.add_region(0x4000 + 9 * PAGE_SIZE, 5, RegionKind.STATIC, "two")
+
+
+def test_add_region_beyond_limit():
+    a = AddressSpace()
+    with pytest.raises(ValueError, match="VA limit"):
+        a.add_region((1 << 47) - PAGE_SIZE, 2, RegionKind.STATIC)
+
+
+def test_find_region():
+    a = AddressSpace()
+    r = a.add_region(0x4000, 2, RegionKind.LAZY)
+    assert a.find_region(0x4000 + 100) is r
+    assert a.find_region(0x100000) is None
+
+
+def test_find_free_skips_existing_regions():
+    a = AddressSpace()
+    base = AddressSpace.MMAP_BASE
+    a.add_region(base, 10, RegionKind.EAGER, "first")
+    va = a.find_free(5)
+    assert va == base + 10 * PAGE_SIZE
+    a.add_region(va, 5, RegionKind.EAGER, "second")
+    assert a.find_free(1) == va + 5 * PAGE_SIZE
+
+
+def test_find_free_fills_gap():
+    a = AddressSpace()
+    base = AddressSpace.MMAP_BASE
+    a.add_region(base + 4 * PAGE_SIZE, 4, RegionKind.EAGER, "island")
+    assert a.find_free(4) == base  # gap before the island fits
+    assert a.find_free(5) == base + 8 * PAGE_SIZE
+
+
+def test_find_free_exhaustion():
+    a = AddressSpace(va_limit=AddressSpace.MMAP_BASE + 4 * PAGE_SIZE)
+    with pytest.raises(MemoryError):
+        a.find_free(5)
+
+
+def test_map_region_pfns_populates():
+    a = AddressSpace()
+    r = a.add_region(0x0, 8, RegionKind.EAGER)
+    a.map_region_pfns(r, np.arange(8, dtype=np.int64))
+    assert r.populated == 8
+    assert (a.table.translate_range(0x0, 8) == np.arange(8)).all()
+
+
+def test_map_region_pfns_wrong_count():
+    a = AddressSpace()
+    r = a.add_region(0x0, 8, RegionKind.EAGER)
+    with pytest.raises(ValueError):
+        a.map_region_pfns(r, np.arange(7, dtype=np.int64))
+
+
+def test_populate_page_lazy_only():
+    a = AddressSpace()
+    lazy = a.add_region(0x0, 4, RegionKind.LAZY)
+    a.populate_page(lazy, PAGE_SIZE, 55)
+    assert lazy.populated == 1
+    assert a.table.translate(PAGE_SIZE)[0] == 55
+    eager = a.add_region(0x10000, 4, RegionKind.EAGER)
+    with pytest.raises(ValueError, match="non-LAZY"):
+        a.populate_page(eager, 0x10000, 1)
+
+
+def test_unmap_region_full_and_partial():
+    a = AddressSpace()
+    r = a.add_region(0x0, 4, RegionKind.EAGER)
+    a.map_region_pfns(r, np.arange(4, dtype=np.int64) + 10)
+    pfns = a.unmap_region(r)
+    assert sorted(pfns) == [10, 11, 12, 13]
+    assert a.find_region(0x0) is None
+
+    lazy = a.add_region(0x0, 4, RegionKind.LAZY)
+    a.populate_page(lazy, PAGE_SIZE, 99)
+    with pytest.raises(ValueError, match="partially populated"):
+        a.unmap_region(lazy)
+    got = a.unmap_populated_pages(lazy)
+    assert list(got) == [99]
+    assert a.table.present_pages == 0
+
+
+def test_total_mapped_pages():
+    a = AddressSpace()
+    r = a.add_region(0x0, 3, RegionKind.EAGER)
+    a.map_region_pfns(r, np.arange(3, dtype=np.int64))
+    assert a.total_mapped_pages() == 3

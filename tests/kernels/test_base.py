@@ -1,0 +1,128 @@
+"""Unit tests for the shared kernel machinery (KernelBase)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import KernelError
+from repro.kernels.pagetable import PAGE_SIZE
+
+
+def test_create_process_assigns_pids_and_cores(rig):
+    _eng, _node, linux, _kitten = rig
+    p1 = linux.create_process("a")
+    p2 = linux.create_process("b", core_id=linux.cores[1].core_id)
+    assert p1.pid != p2.pid
+    assert p1.core_id == linux.cores[0].core_id
+    assert p2.core_id == linux.cores[1].core_id
+
+
+def test_create_process_foreign_core_rejected(rig):
+    _eng, _node, linux, kitten = rig
+    with pytest.raises(KernelError):
+        linux.create_process("x", core_id=kitten.cores[0].core_id)
+
+
+def test_kernel_owns_its_cores(rig):
+    _eng, _node, linux, kitten = rig
+    assert all(c.owner is linux for c in linux.cores)
+    assert all(c.owner is kitten for c in kitten.cores)
+
+
+def test_foreign_process_rejected(rig):
+    eng, _node, linux, kitten = rig
+    kp = kitten.create_process("k")
+
+    def proc():
+        yield from linux.walk_for_export(kp, 0x0, 1)
+
+    with pytest.raises(KernelError):
+        eng.run_process(proc())
+
+
+def test_alloc_free_pfns_roundtrip(rig):
+    _eng, _node, linux, _kitten = rig
+    before = linux.allocator.free_frames
+    pfns = linux.alloc_pfns(100)
+    assert len(pfns) == 100
+    assert linux.allocator.free_frames == before - 100
+    linux.free_pfns(pfns)
+    assert linux.allocator.free_frames == before
+
+
+def test_alloc_scattered_fragmented(rig):
+    _eng, _node, linux, _kitten = rig
+    pfns = linux.alloc_pfns(10, scattered=True)
+    linux.free_pfns(pfns)
+
+
+def test_owns_pfn(rig):
+    _eng, _node, linux, kitten = rig
+    lp = linux.alloc_pfns(1)
+    kp = kitten.alloc_pfns(1)
+    assert linux.owns_pfn(int(lp[0]))
+    assert not linux.owns_pfn(int(kp[0]))
+    assert kitten.owns_pfn(int(kp[0]))
+
+
+def test_walk_for_export_costs_time_and_logs_steal(rig):
+    eng, _node, _linux, kitten = rig
+    proc = kitten.create_process("exp")
+    heap = kitten.heap_region(proc)
+
+    def run():
+        t0 = eng.now
+        pfns = yield from kitten.walk_for_export(proc, heap.start, heap.npages)
+        return pfns, eng.now - t0
+
+    pfns, elapsed = eng.run_process(run())
+    assert len(pfns) == heap.npages
+    assert elapsed == heap.npages * kitten.costs.walk_per_page_ns
+    steal = kitten.service_core.steal_log
+    assert len(steal) == 1 and steal[0][2].startswith("xemem-walk")
+
+
+def test_map_remote_pfns_installs_translations(rig):
+    eng, _node, linux, kitten = rig
+    kp = kitten.create_process("exp")
+    lp = linux.create_process("att")
+    heap = kitten.heap_region(kp)
+
+    def run():
+        pfns = yield from kitten.walk_for_export(kp, heap.start, 16)
+        region = yield from linux.map_remote_pfns(lp, pfns, "att")
+        return pfns, region
+
+    pfns, region = eng.run_process(run())
+    got = lp.aspace.table.translate_range(region.start, 16)
+    assert (got == pfns).all()
+
+
+def test_unmap_attachment_returns_frames(rig):
+    eng, _node, linux, kitten = rig
+    kp = kitten.create_process("exp")
+    lp = linux.create_process("att")
+    heap = kitten.heap_region(kp)
+
+    def run():
+        pfns = yield from kitten.walk_for_export(kp, heap.start, 8)
+        region = yield from linux.map_remote_pfns(lp, pfns, "att")
+        got = yield from linux.unmap_attachment(lp, region)
+        return pfns, got
+
+    pfns, got = eng.run_process(run())
+    assert (np.sort(got) == np.sort(pfns)).all()
+    assert lp.aspace.find_region(0x7F00_0000_0000) is None
+
+
+def test_stolen_ns_merges_noise_and_steal_log(rig):
+    _eng, _node, _linux, kitten = rig
+    from repro.kernels.noise import PeriodicNoise
+
+    cid = kitten.cores[0].core_id
+    kitten.noise_sources[cid] = [
+        PeriodicNoise(1000, 10, tag="t", seed=1)
+    ]
+    kitten.cores[0].log_steal(500, 50, "svc")
+    got = kitten.stolen_ns(cid, 0, 10_000)
+    analytic = sum(d for _s, d in kitten.noise_sources[cid][0].events_in(0, 10_000))
+    assert got == analytic + 50

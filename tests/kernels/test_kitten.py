@@ -1,0 +1,146 @@
+"""Unit tests for the Kitten LWK model: static maps, SMARTMAP, heap expansion."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.addrspace import RegionKind
+from repro.kernels.kitten import (
+    DEFAULT_HEAP_PAGES,
+    HEAP_BASE,
+    STACK_PAGES,
+    STACK_TOP,
+    TEXT_PAGES,
+)
+from repro.kernels.pagetable import PAGE_SIZE, PageFault
+
+
+def test_process_creation_maps_everything_statically(rig):
+    _eng, _node, _linux, kitten = rig
+    proc = kitten.create_process("app")
+    names = {r.name for r in proc.aspace.regions}
+    assert names == {"text", "heap", "stack"}
+    for region in proc.aspace.regions:
+        assert region.kind is RegionKind.STATIC
+        assert region.populated == region.npages
+    # no faults anywhere in the static regions
+    heap = kitten.heap_region(proc)
+    assert len(proc.aspace.table.translate_range(heap.start, heap.npages)) == heap.npages
+
+
+def test_static_layout_addresses(rig):
+    _eng, _node, _linux, kitten = rig
+    proc = kitten.create_process("app")
+    heap = kitten.heap_region(proc)
+    assert heap.start == HEAP_BASE
+    assert heap.npages == DEFAULT_HEAP_PAGES
+    stack = next(r for r in proc.aspace.regions if r.name == "stack")
+    assert stack.end == STACK_TOP
+
+
+def test_touch_pages_never_faults(rig):
+    eng, _node, _linux, kitten = rig
+    proc = kitten.create_process("app")
+    heap = kitten.heap_region(proc)
+
+    def run():
+        t0 = eng.now
+        yield from kitten.touch_pages(proc, heap.start, heap.npages)
+        return eng.now - t0
+
+    assert eng.run_process(run()) == heap.npages * kitten.costs.page_touch_ns
+
+
+def test_smartmap_attach_translates_donor_heap(rig):
+    _eng, _node, _linux, kitten = rig
+    donor = kitten.create_process("donor")
+    attacher = kitten.create_process("att")
+    base = kitten.smartmap_attach(attacher, donor)
+    heap = kitten.heap_region(donor)
+    donor_pfns = donor.aspace.table.translate_range(heap.start, 4)
+    via_smartmap = attacher.aspace.table.translate_range(base + heap.start, 4)
+    assert (donor_pfns == via_smartmap).all()
+    assert kitten.smartmap_address(donor, heap.start) == base + heap.start
+
+
+def test_smartmap_detach(rig):
+    _eng, _node, _linux, kitten = rig
+    donor = kitten.create_process("donor")
+    attacher = kitten.create_process("att")
+    base = kitten.smartmap_attach(attacher, donor)
+    kitten.smartmap_detach(attacher, donor)
+    with pytest.raises(PageFault):
+        attacher.aspace.table.translate(base + HEAP_BASE)
+
+
+def test_smartmap_both_directions(rig):
+    _eng, _node, _linux, kitten = rig
+    a = kitten.create_process("a")
+    b = kitten.create_process("b")
+    kitten.smartmap_attach(a, b)
+    kitten.smartmap_attach(b, a)
+    assert a.aspace.table.translate(kitten.smartmap_address(b, HEAP_BASE))
+    assert b.aspace.table.translate(kitten.smartmap_address(a, HEAP_BASE))
+
+
+def test_expand_heap_places_above_heap_and_advances(rig):
+    _eng, _node, _linux, kitten = rig
+    proc = kitten.create_process("app")
+    r1 = kitten.expand_heap(proc, 16, "one")
+    r2 = kitten.expand_heap(proc, 16, "two")
+    heap = kitten.heap_region(proc)
+    assert r1.start == heap.end
+    assert r2.start == r1.end
+    assert r1.kind is RegionKind.EAGER
+
+
+def test_expand_heap_collision_with_stack(rig):
+    _eng, _node, _linux, kitten = rig
+    proc = kitten.create_process("app")
+    span = (STACK_TOP - STACK_PAGES * PAGE_SIZE - HEAP_BASE) // PAGE_SIZE
+    with pytest.raises(MemoryError):
+        kitten.expand_heap(proc, span)
+
+
+def test_map_remote_pfns_uses_dynamic_region(rig):
+    eng, _node, linux, kitten = rig
+    lp = linux.create_process("exp")
+    kp = kitten.create_process("att")
+
+    def run():
+        region = yield from linux.mmap_anonymous(lp, 32 * PAGE_SIZE)
+        pfns = yield from linux.walk_for_export(lp, region.start, 32)
+        att = yield from kitten.map_remote_pfns(kp, pfns, "remote")
+        return pfns, att
+
+    pfns, att = eng.run_process(run())
+    heap = kitten.heap_region(kp)
+    assert att.start == heap.end  # dynamic heap expansion placement
+    got = kp.aspace.table.translate_range(att.start, 32)
+    assert (got == pfns).all()
+
+
+def test_dynamic_mapping_coexists_with_smartmap(rig):
+    """The paper's §4.3 requirement: heap expansion must not break SMARTMAP."""
+    eng, _node, linux, kitten = rig
+    lp = linux.create_process("exp")
+    donor = kitten.create_process("donor")
+    attacher = kitten.create_process("att")
+    base = kitten.smartmap_attach(attacher, donor)
+
+    def run():
+        region = yield from linux.mmap_anonymous(lp, 8 * PAGE_SIZE)
+        pfns = yield from linux.walk_for_export(lp, region.start, 8)
+        att = yield from kitten.map_remote_pfns(attacher, pfns, "remote")
+        return att
+
+    att = eng.run_process(run())
+    # SMARTMAP window still live
+    assert attacher.aspace.table.translate(base + HEAP_BASE)
+    # and the remote mapping translates
+    assert attacher.aspace.table.translate(att.start)
+
+
+def test_pid_collision_exhaustion_guard(rig):
+    _eng, _node, _linux, kitten = rig
+    with pytest.raises(Exception):
+        kitten.smartmap_slot(400)

@@ -1,0 +1,197 @@
+"""Unit tests for the Linux kernel model: demand paging, gup, remap."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.addrspace import RegionKind
+from repro.kernels.base import KernelError
+from repro.kernels.pagetable import PAGE_SIZE, PageFault, PTE_PINNED
+
+
+def test_mmap_anonymous_is_lazy(rig):
+    eng, _node, linux, _ = rig
+    proc = linux.create_process("p")
+
+    def run():
+        region = yield from linux.mmap_anonymous(proc, 10 * PAGE_SIZE)
+        return region
+
+    region = eng.run_process(run())
+    assert region.kind is RegionKind.LAZY
+    assert region.populated == 0
+    with pytest.raises(PageFault):
+        proc.aspace.table.translate(region.start)
+
+
+def test_fault_populates_anonymous_page(rig):
+    eng, _node, linux, _ = rig
+    proc = linux.create_process("p")
+
+    def run():
+        region = yield from linux.mmap_anonymous(proc, 4 * PAGE_SIZE)
+        pfn = yield from linux.handle_fault(proc, region.start + PAGE_SIZE + 7)
+        return region, pfn
+
+    region, pfn = eng.run_process(run())
+    assert region.populated == 1
+    assert proc.aspace.table.translate(region.start + PAGE_SIZE)[0] == pfn
+    assert linux.fault_count == 1
+
+
+def test_fault_on_unmapped_address_propagates(rig):
+    eng, _node, linux, _ = rig
+    proc = linux.create_process("p")
+
+    def run():
+        yield from linux.handle_fault(proc, 0xDEAD000)
+
+    with pytest.raises(PageFault):
+        eng.run_process(run())
+
+
+def test_fault_in_eager_region_is_kernel_bug(rig):
+    eng, _node, linux, kitten = rig
+    kp = kitten.create_process("k")
+    lp = linux.create_process("l")
+
+    def run():
+        pfns = yield from kitten.walk_for_export(kp, kitten.heap_region(kp).start, 4)
+        region = yield from linux.map_remote_pfns(lp, pfns)
+        yield from linux.handle_fault(lp, region.start)
+
+    with pytest.raises(KernelError, match="non-LAZY"):
+        eng.run_process(run())
+
+
+def test_touch_pages_bulk_faults_whole_lazy_region(rig):
+    eng, _node, linux, _ = rig
+    proc = linux.create_process("p")
+
+    def run():
+        region = yield from linux.mmap_anonymous(proc, 100 * PAGE_SIZE)
+        t0 = eng.now
+        faults = yield from linux.touch_pages(proc, region.start, 100)
+        return region, faults, eng.now - t0
+
+    region, faults, elapsed = eng.run_process(run())
+    assert faults == 100
+    assert region.populated == 100
+    expected = 100 * (linux.costs.linux_page_fault_ns + linux.costs.page_touch_ns)
+    assert elapsed == expected
+
+
+def test_touch_pages_second_pass_is_fault_free(rig):
+    eng, _node, linux, _ = rig
+    proc = linux.create_process("p")
+
+    def run():
+        region = yield from linux.mmap_anonymous(proc, 50 * PAGE_SIZE)
+        yield from linux.touch_pages(proc, region.start, 50)
+        t0 = eng.now
+        faults = yield from linux.touch_pages(proc, region.start, 50)
+        return faults, eng.now - t0
+
+    faults, elapsed = eng.run_process(run())
+    assert faults == 0
+    assert elapsed == 50 * linux.costs.page_touch_ns
+
+
+def test_touch_pages_partial_population_faults_only_holes(rig):
+    eng, _node, linux, _ = rig
+    proc = linux.create_process("p")
+
+    def run():
+        region = yield from linux.mmap_anonymous(proc, 10 * PAGE_SIZE)
+        yield from linux.handle_fault(proc, region.start + 3 * PAGE_SIZE)
+        faults = yield from linux.touch_pages(proc, region.start, 10)
+        return faults
+
+    assert eng.run_process(run()) == 9
+
+
+def test_get_user_pages_pins_and_returns_pfns(rig):
+    eng, _node, linux, _ = rig
+    proc = linux.create_process("p")
+
+    def run():
+        region = yield from linux.mmap_anonymous(proc, 20 * PAGE_SIZE)
+        pfns = yield from linux.pin_pages(proc, region.start, 20)
+        return region, pfns
+
+    region, pfns = eng.run_process(run())
+    assert len(pfns) == 20
+    assert region.populated == 20  # gup faulted everything in
+    assert proc.aspace.table.range_flags_all(region.start, 20, PTE_PINNED)
+    assert linux.gup_pinned_pages == 20
+
+
+def test_linux_walk_for_export_includes_gup(rig):
+    eng, _node, linux, _ = rig
+    proc = linux.create_process("p")
+
+    def run():
+        region = yield from linux.mmap_anonymous(proc, 8 * PAGE_SIZE)
+        pfns = yield from linux.walk_for_export(proc, region.start, 8)
+        return region, pfns
+
+    region, pfns = eng.run_process(run())
+    assert proc.aspace.table.range_flags_all(region.start, 8, PTE_PINNED)
+    assert (proc.aspace.table.translate_range(region.start, 8) == pfns).all()
+
+
+def test_map_lock_guards_vma_carve_but_installs_run_concurrently(rig):
+    """The global lock covers only the VMA carve; per-process PTE
+    installs proceed in parallel (mmap_sem is per-process in Linux)."""
+    eng, _node, linux, kitten = rig
+    kp = kitten.create_process("k")
+    heap = kitten.heap_region(kp)
+    lp1 = linux.create_process("a", core_id=linux.cores[0].core_id)
+    lp2 = linux.create_process("b", core_id=linux.cores[1].core_id)
+
+    def eng_core(lp):
+        return linux.node.core(lp.core_id)
+
+    def attacher(lp, offset_pages, npages):
+        pfns = yield from kitten.walk_for_export(
+            kp, heap.start + offset_pages * PAGE_SIZE, npages,
+            core=eng_core(lp),
+        )
+        region = yield from linux.map_remote_pfns(lp, pfns, core=eng_core(lp))
+        return region, eng.now
+
+    big = 512
+    pa = eng.spawn(attacher(lp1, 0, big))
+    pb = eng.spawn(attacher(lp2, big, big))
+    eng.run()
+    (ra, ta), (rb, tb) = pa.result, pb.result
+    assert ra.populated == big and rb.populated == big
+    assert linux.map_lock.stats.acquisitions == 2
+    # concurrency: the later finisher did NOT wait for the earlier one's
+    # whole install (serial time would be ~2x one install)
+    install_ns = big * linux.costs.map_install_per_page_ns
+    assert max(ta, tb) < 2 * (install_ns + big * linux.costs.walk_per_page_ns)
+
+
+def test_attach_local_lazy_defers_population(rig):
+    eng, _node, linux, _ = rig
+    exporter = linux.create_process("exp")
+    attacher = linux.create_process("att")
+
+    def run():
+        region = yield from linux.mmap_anonymous(exporter, 16 * PAGE_SIZE)
+        pfns = yield from linux.walk_for_export(exporter, region.start, 16)
+        att = yield from linux.attach_local_lazy(attacher, pfns)
+        return pfns, att
+
+    pfns, att = eng.run_process(run())
+    assert att.kind is RegionKind.LAZY
+    assert att.populated == 0
+
+    def touch():
+        faults = yield from linux.touch_pages(attacher, att.start, 16)
+        return faults
+
+    assert eng.run_process(touch()) == 16
+    # and the faulted pages map the exporter's frames: true shared memory
+    got = attacher.aspace.table.translate_range(att.start, 16)
+    assert (got == pfns).all()

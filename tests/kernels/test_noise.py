@@ -1,0 +1,109 @@
+"""Unit tests for the analytic noise model."""
+
+import pytest
+
+from repro.hw.costs import CostModel
+from repro.kernels.noise import (
+    PeriodicNoise,
+    attach_noise_profile,
+    kitten_noise_profile,
+    linux_noise_profile,
+    splitmix64,
+)
+
+
+def test_splitmix64_deterministic_and_spread():
+    a = splitmix64(1)
+    assert a == splitmix64(1)
+    assert splitmix64(2) != a
+    # crude uniformity check over the top byte
+    tops = {splitmix64(i) >> 56 for i in range(512)}
+    assert len(tops) > 100
+
+
+def test_periodic_noise_events_without_jitter():
+    src = PeriodicNoise(1000, 10, tag="t")
+    events = src.events_in(0, 5000)
+    assert events == [(0, 10), (1000, 10), (2000, 10), (3000, 10), (4000, 10)]
+
+
+def test_periodic_noise_window_edges():
+    src = PeriodicNoise(1000, 10, tag="t")
+    assert src.events_in(1000, 1001) == [(1000, 10)]
+    assert src.events_in(1001, 2000) == []
+    assert src.events_in(500, 400) == []
+
+
+def test_periodic_noise_phase():
+    src = PeriodicNoise(1000, 10, tag="t", phase_ns=300)
+    assert src.events_in(0, 2000) == [(300, 10), (1300, 10)]
+
+
+def test_stolen_in_clips_to_window():
+    src = PeriodicNoise(1000, 100, tag="t")
+    # event at t=1000 lasts to 1100; window [1050, 2000) overlaps 50ns
+    # plus the event at t=2000 not started yet -> excluded
+    assert src.stolen_in(1050, 2000) == 50
+    # full window
+    assert src.stolen_in(0, 3000) == 300
+
+
+def test_stolen_in_counts_straddling_event():
+    src = PeriodicNoise(1_000_000, 500_000, tag="t")
+    # event at t=0 runs to 500k; window starting inside it must count the tail
+    assert src.stolen_in(100_000, 200_000) == 100_000
+
+
+def test_jitter_is_deterministic_and_bounded():
+    a = PeriodicNoise(1000, 10, tag="t", seed=7, jitter_frac=0.3)
+    b = PeriodicNoise(1000, 10, tag="t", seed=7, jitter_frac=0.3)
+    ea, eb = a.events_in(0, 100_000), b.events_in(0, 100_000)
+    assert ea == eb
+    for (start, _d), k in zip(ea, range(len(ea))):
+        assert abs(start - k * 1000) <= 300 + 1
+
+
+def test_different_seeds_differ():
+    a = PeriodicNoise(1000, 10, tag="t", seed=1, jitter_frac=0.3)
+    b = PeriodicNoise(1000, 10, tag="t", seed=2, jitter_frac=0.3)
+    assert a.events_in(0, 50_000) != b.events_in(0, 50_000)
+
+
+def test_exponential_durations_have_requested_mean():
+    src = PeriodicNoise(1000, 500, tag="t", seed=3, exp_duration=True)
+    events = src.events_in(0, 20_000_000)
+    durs = [d for _s, d in events]
+    mean = sum(durs) / len(durs)
+    assert 400 <= mean <= 600
+    assert max(durs) > 1500  # heavy tail present
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PeriodicNoise(0, 10, tag="t")
+    with pytest.raises(ValueError):
+        PeriodicNoise(1000, 10, tag="t", jitter_frac=0.9)
+
+
+def test_kitten_profile_is_quiet_linux_is_loud():
+    costs = CostModel()
+    second = 1_000_000_000
+    kitten = kitten_noise_profile(costs, seed=1)
+    linux = linux_noise_profile(costs, seed=1)
+    k_stolen = sum(s.stolen_in(0, 10 * second) for s in kitten)
+    l_stolen = sum(s.stolen_in(0, 10 * second) for s in linux)
+    k_frac = k_stolen / (10 * second)
+    l_frac = l_stolen / (10 * second)
+    assert k_frac < 0.005  # Kitten steals well under half a percent
+    assert l_frac > 3 * k_frac  # Linux is markedly noisier
+
+
+def test_attach_noise_profile_covers_all_cores(rig):
+    _eng, _node, linux, kitten = rig
+    attach_noise_profile(linux, seed=5)
+    attach_noise_profile(kitten, seed=5)
+    assert set(linux.noise_sources) == {c.core_id for c in linux.cores}
+    tags = {s.tag for s in kitten.noise_sources[kitten.cores[0].core_id]}
+    assert tags == {"hw-baseline", "smi"}
+    tags = {s.tag for s in linux.noise_sources[linux.cores[0].core_id]}
+    assert "daemon" in tags and "tick" in tags

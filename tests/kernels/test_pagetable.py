@@ -1,0 +1,220 @@
+"""Unit tests for the 4-level page table."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.pagetable import (
+    PAGE_SIZE,
+    PML4_SLOT_SPAN,
+    PageFault,
+    PageTable,
+    PTE_PINNED,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+    pack_pte,
+    pte_flags,
+    pte_pfn,
+)
+
+RW = PTE_PRESENT | PTE_WRITABLE | PTE_USER
+
+
+def test_pack_unpack_pte():
+    pte = pack_pte(12345, RW)
+    assert pte_pfn(pte) == 12345
+    assert pte_flags(pte) == RW
+
+
+def test_pack_validation():
+    with pytest.raises(ValueError):
+        pack_pte(-1, RW)
+    with pytest.raises(ValueError):
+        pack_pte(0, 1 << 12)
+
+
+def test_map_translate_single_page():
+    pt = PageTable()
+    pt.map_page(0x4000, 77, RW)
+    assert pt.translate(0x4000) == (77, RW)
+    # interior addresses translate too
+    assert pt.translate(0x4FFF)[0] == 77
+    assert pt.present_pages == 1
+
+
+def test_translate_miss_faults():
+    pt = PageTable()
+    with pytest.raises(PageFault):
+        pt.translate(0x4000)
+
+
+def test_write_to_readonly_faults():
+    pt = PageTable()
+    pt.map_page(0x4000, 1, PTE_PRESENT | PTE_USER)
+    assert pt.translate(0x4000)[0] == 1
+    with pytest.raises(PageFault):
+        pt.translate(0x4000, write=True)
+
+
+def test_double_map_rejected():
+    pt = PageTable()
+    pt.map_page(0x4000, 1)
+    with pytest.raises(ValueError, match="already mapped"):
+        pt.map_page(0x4000, 2)
+
+
+def test_unmap_returns_pfn():
+    pt = PageTable()
+    pt.map_page(0x4000, 42)
+    assert pt.unmap_page(0x4000) == 42
+    assert pt.present_pages == 0
+    with pytest.raises(PageFault):
+        pt.translate(0x4000)
+
+
+def test_unmap_missing_faults():
+    pt = PageTable()
+    with pytest.raises(PageFault):
+        pt.unmap_page(0x4000)
+
+
+def test_unaligned_vaddr_rejected():
+    pt = PageTable()
+    with pytest.raises(ValueError):
+        pt.map_page(0x4001, 1)
+
+
+def test_vaddr_beyond_user_half_rejected():
+    pt = PageTable()
+    with pytest.raises(ValueError):
+        pt.map_page(1 << 47, 1)
+
+
+def test_map_range_roundtrip_across_leaf_tables():
+    pt = PageTable()
+    npages = 1500  # spans 3 leaf tables
+    pfns = np.arange(10_000, 10_000 + npages, dtype=np.int64)
+    base = 0x10_0000
+    pt.map_range(base, pfns, RW)
+    assert pt.present_pages == npages
+    got = pt.translate_range(base, npages)
+    assert (got == pfns).all()
+
+
+def test_map_range_collision_is_atomic():
+    pt = PageTable()
+    pt.map_page(0x10_0000 + 700 * PAGE_SIZE, 5)
+    pfns = np.arange(1000, dtype=np.int64)
+    with pytest.raises(ValueError, match="already mapped"):
+        pt.map_range(0x10_0000, pfns)
+    # nothing else must have been installed
+    assert pt.present_pages == 1
+
+
+def test_unmap_range_returns_pfns_and_is_atomic():
+    pt = PageTable()
+    pfns = np.arange(600, dtype=np.int64) + 50
+    pt.map_range(0x20_0000, pfns)
+    got = pt.unmap_range(0x20_0000, 600)
+    assert (got == pfns).all()
+    assert pt.present_pages == 0
+    # atomicity: partial holes abort before modifying anything
+    pt.map_range(0x20_0000, pfns[:100])
+    with pytest.raises(PageFault):
+        pt.unmap_range(0x20_0000, 200)
+    assert pt.present_pages == 100
+
+
+def test_translate_range_reports_first_hole():
+    pt = PageTable()
+    pt.map_range(0x0, np.arange(10, dtype=np.int64))
+    pt.unmap_page(3 * PAGE_SIZE)
+    with pytest.raises(PageFault) as exc:
+        pt.translate_range(0x0, 10)
+    assert exc.value.vaddr == 3 * PAGE_SIZE
+
+
+def test_set_flags_range_pinning():
+    pt = PageTable()
+    pt.map_range(0x0, np.arange(20, dtype=np.int64))
+    assert not pt.range_flags_all(0x0, 20, PTE_PINNED)
+    pt.set_flags_range(0x0, 20, set_mask=PTE_PINNED)
+    assert pt.range_flags_all(0x0, 20, PTE_PINNED)
+    pt.set_flags_range(0x0, 20, clear_mask=PTE_PINNED)
+    assert not pt.range_flags_all(0x0, 20, PTE_PINNED)
+    assert pt.present_pages == 20  # flags untouched presence
+
+
+def test_cannot_clear_present_via_flags():
+    pt = PageTable()
+    pt.map_page(0x0, 1)
+    with pytest.raises(ValueError):
+        pt.set_flags_range(0x0, 1, clear_mask=PTE_PRESENT)
+
+
+def test_mapped_vaddrs_enumeration():
+    pt = PageTable()
+    pt.map_page(0x4000, 1)
+    pt.map_page(0x200000, 2)
+    assert pt.mapped_vaddrs() == [0x4000, 0x200000]
+
+
+# -- SMARTMAP slot sharing ------------------------------------------------------
+
+
+def test_smartmap_slot_sharing_reads_donor_slot0():
+    donor = PageTable()
+    donor.map_page(0x4000, 99, RW)
+    borrower = PageTable()
+    borrower.share_pml4_slot(3, donor)
+    # borrower sees donor's 0x4000 at slot 3's span + 0x4000
+    assert borrower.translate(3 * PML4_SLOT_SPAN + 0x4000) == (99, RW)
+
+
+def test_smartmap_reflects_donor_updates_live():
+    donor = PageTable()
+    borrower = PageTable()
+    borrower.share_pml4_slot(1, donor)
+    donor.map_page(0x8000, 7)
+    assert borrower.translate(PML4_SLOT_SPAN + 0x8000)[0] == 7
+
+
+def test_smartmap_slot_is_readonly_for_borrower():
+    donor = PageTable()
+    borrower = PageTable()
+    borrower.share_pml4_slot(1, donor)
+    with pytest.raises(ValueError, match="borrowed"):
+        borrower.map_page(PML4_SLOT_SPAN + 0x4000, 5)
+    with pytest.raises(ValueError, match="borrowed"):
+        borrower.unmap_page(PML4_SLOT_SPAN + 0x4000)
+
+
+def test_smartmap_unshare():
+    donor = PageTable()
+    donor.map_page(0x4000, 9)
+    borrower = PageTable()
+    borrower.share_pml4_slot(1, donor)
+    borrower.unshare_pml4_slot(1)
+    with pytest.raises(PageFault):
+        borrower.translate(PML4_SLOT_SPAN + 0x4000)
+    with pytest.raises(ValueError):
+        borrower.unshare_pml4_slot(1)
+
+
+def test_smartmap_slot_conflicts():
+    donor = PageTable()
+    borrower = PageTable()
+    borrower.map_page(2 * PML4_SLOT_SPAN, 1)  # slot 2 in use by own mapping
+    with pytest.raises(ValueError):
+        borrower.share_pml4_slot(2, donor)
+    with pytest.raises(ValueError):
+        borrower.share_pml4_slot(1, borrower)  # self-share
+
+
+def test_smartmap_does_not_affect_donor_presence_count():
+    donor = PageTable()
+    donor.map_page(0x0, 1)
+    borrower = PageTable()
+    borrower.share_pml4_slot(1, donor)
+    assert borrower.present_pages == 0
+    assert donor.present_pages == 1

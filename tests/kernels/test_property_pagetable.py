@@ -1,0 +1,71 @@
+"""Property-based tests: PageTable behaves like a dict of page mappings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.pagetable import (
+    PAGE_SIZE,
+    PageFault,
+    PageTable,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+)
+
+RW = PTE_PRESENT | PTE_WRITABLE | PTE_USER
+
+pages = st.integers(0, 1 << 20)  # page numbers within a modest window
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(pages, st.integers(0, 1 << 30), min_size=1, max_size=150))
+def test_single_page_ops_match_dict(mapping):
+    pt = PageTable()
+    for page, pfn in mapping.items():
+        pt.map_page(page * PAGE_SIZE, pfn, RW)
+    assert pt.present_pages == len(mapping)
+    for page, pfn in mapping.items():
+        assert pt.translate(page * PAGE_SIZE) == (pfn, RW)
+    # unmap half, rest must survive
+    doomed = list(mapping)[::2]
+    for page in doomed:
+        assert pt.unmap_page(page * PAGE_SIZE) == mapping[page]
+    for page in doomed:
+        with pytest.raises(PageFault):
+            pt.translate(page * PAGE_SIZE)
+    for page in set(mapping) - set(doomed):
+        assert pt.translate(page * PAGE_SIZE)[0] == mapping[page]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(0, 1 << 18),          # base page
+    st.integers(1, 2000),             # npages (crosses leaf tables)
+    st.integers(0, 1 << 28),          # first pfn
+)
+def test_range_ops_roundtrip(base_page, npages, first_pfn):
+    pt = PageTable()
+    vaddr = base_page * PAGE_SIZE
+    pfns = np.arange(first_pfn, first_pfn + npages, dtype=np.int64)
+    pt.map_range(vaddr, pfns, RW)
+    assert pt.present_pages == npages
+    assert (pt.translate_range(vaddr, npages) == pfns).all()
+    got = pt.unmap_range(vaddr, npages)
+    assert (got == pfns).all()
+    assert pt.present_pages == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 600), st.integers(1, 600))
+def test_adjacent_ranges_do_not_interfere(n1, n2):
+    pt = PageTable()
+    a = np.arange(n1, dtype=np.int64) + 10
+    b = np.arange(n2, dtype=np.int64) + 10_000
+    pt.map_range(0, a)
+    pt.map_range(n1 * PAGE_SIZE, b)
+    assert (pt.translate_range(0, n1) == a).all()
+    assert (pt.translate_range(n1 * PAGE_SIZE, n2) == b).all()
+    pt.unmap_range(0, n1)
+    assert (pt.translate_range(n1 * PAGE_SIZE, n2) == b).all()

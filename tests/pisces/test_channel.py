@@ -1,0 +1,135 @@
+"""Unit tests for the Pisces IPI channel: core-0 rule, chunking, penalty."""
+
+import numpy as np
+import pytest
+
+from repro.enclave import Enclave, EnclaveSystem, KernelMessage
+from repro.hw import NodeHardware, R420_SPEC
+from repro.hw.costs import CostModel, GB
+from repro.pisces import PiscesChannel, PiscesManager
+from repro.sim import Engine
+
+
+def build(num_cokernels=1, ipi_target_policy="core0"):
+    eng = Engine()
+    node = NodeHardware(eng, R420_SPEC)
+    pisces = PiscesManager(node)
+    linux = pisces.boot_linux(core_ids=range(0, 8), mem_bytes=8 * GB)
+    kittens = [
+        pisces.boot_cokernel(core_ids=[12 + i], mem_bytes=1 * GB, zone_id=1,
+                             ipi_target_policy=ipi_target_policy)
+        for i in range(num_cokernels)
+    ]
+    return eng, node, pisces, linux, kittens
+
+
+def test_bad_policy_rejected():
+    eng, node, pisces, linux, kittens = build()
+    with pytest.raises(ValueError):
+        PiscesChannel(linux, kittens[0], ipi_target_policy="magic")
+
+
+def test_linux_side_ipis_target_core0():
+    _eng, _node, pisces, _linux, _kittens = build(num_cokernels=3)
+    for channel in pisces.channels:
+        assert channel.linux_handling_core_id == 0
+
+
+def test_distributed_policy_spreads_targets():
+    _eng, _node, pisces, _linux, _kittens = build(
+        num_cokernels=4, ipi_target_policy="distributed"
+    )
+    targets = {ch.linux_handling_core_id for ch in pisces.channels}
+    assert len(targets) > 1
+
+
+def test_message_delivery_and_receiver():
+    eng, _node, pisces, linux, kittens = build()
+    channel = pisces.channels[0]
+    got = []
+    kittens[0].set_receiver(lambda msg, ch: got.append((msg.kind, ch)))
+    linux.set_receiver(lambda msg, ch: got.append((msg.kind, ch)))
+
+    def send():
+        yield from channel.send(linux, KernelMessage("ping", {"x": 1}))
+        yield from channel.send(kittens[0], KernelMessage("pong"))
+
+    eng.run_process(send())
+    assert [k for k, _c in got] == ["ping", "pong"]
+    assert all(c is channel for _k, c in got)
+    assert channel.messages_sent == 2
+
+
+def test_pfn_list_chunks_cause_core0_occupancy():
+    eng, node, pisces, linux, kittens = build()
+    channel = pisces.channels[0]
+    kittens[0].set_receiver(lambda msg, ch: None)
+    linux.set_receiver(lambda msg, ch: None)
+    costs = node.costs
+    pfns = np.arange(100_000, dtype=np.int64)  # 800KB list -> several chunks
+    chunks = costs.pfn_list_chunks(len(pfns))
+    assert chunks > 1
+
+    def send():
+        yield from channel.send(kittens[0], KernelMessage("attach_resp", pfns=pfns))
+
+    eng.run_process(send())
+    core0 = node.core(0)
+    irq_steals = [d for _s, d, t in core0.steal_log if t.startswith("irq:")]
+    assert len(irq_steals) == chunks
+    assert all(d == costs.ipi_handler_core0_ns for d in irq_steals)
+    assert channel.pfns_carried == len(pfns)
+
+
+def test_multi_enclave_penalty_applies_only_with_system():
+    """Without a system registration the penalty is off; with >=2
+    co-kernels registered it slows per-page marshalling."""
+    def transfer_time(register_two):
+        eng, node, pisces, linux, kittens = build(num_cokernels=2)
+        if register_two:
+            system = EnclaveSystem(node)
+            system.add_all(pisces.all_enclaves)
+        channel = pisces.channels[0]
+        kittens[0].set_receiver(lambda msg, ch: None)
+        linux.set_receiver(lambda msg, ch: None)
+        pfns = np.arange(50_000, dtype=np.int64)
+
+        def send():
+            t0 = eng.now
+            yield from channel.send(kittens[0], KernelMessage("r", pfns=pfns))
+            return eng.now - t0
+
+        return eng.run_process(send())
+
+    base = transfer_time(register_two=False)
+    slowed = transfer_time(register_two=True)
+    assert slowed > base
+
+
+def test_messages_without_pfns_send_single_ipi():
+    eng, node, pisces, linux, kittens = build()
+    channel = pisces.channels[0]
+    kittens[0].set_receiver(lambda msg, ch: None)
+    linux.set_receiver(lambda msg, ch: None)
+
+    def send():
+        yield from channel.send(kittens[0], KernelMessage("hello"))
+
+    eng.run_process(send())
+    assert node.intc.delivered == 1
+
+
+def test_partition_double_claims_rejected():
+    eng, node, pisces, linux, kittens = build()
+    with pytest.raises(Exception, match="already owned"):
+        pisces.boot_cokernel(core_ids=[12], mem_bytes=1 * GB, zone_id=1)
+    with pytest.raises(Exception, match="Linux management enclave already"):
+        pisces.boot_linux(core_ids=[20], mem_bytes=1 * GB)
+
+
+def test_cokernel_requires_linux_first():
+    eng = Engine()
+    node = NodeHardware(eng, R420_SPEC)
+    pisces = PiscesManager(node)
+    with pytest.raises(Exception, match="boot the Linux"):
+        pisces.boot_cokernel(core_ids=[1], mem_bytes=1 * GB)

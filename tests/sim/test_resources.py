@@ -1,0 +1,184 @@
+"""Unit tests for Resource/Mutex contention semantics and statistics."""
+
+import pytest
+
+from repro.sim import Engine, Mutex, Resource, SimError
+
+
+def test_uncontended_acquire_is_instant():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+
+    def proc():
+        yield res.acquire()
+        t = eng.now
+        res.release()
+        return t
+
+    assert eng.run_process(proc()) == 0
+    assert res.stats.acquisitions == 1
+    assert res.stats.contended_acquisitions == 0
+
+
+def test_capacity_enforced_fifo():
+    eng = Engine()
+    res = Resource(eng, capacity=1, name="core")
+    order = []
+
+    def worker(tag, hold_ns):
+        yield res.acquire()
+        order.append((tag, eng.now))
+        yield eng.sleep(hold_ns)
+        res.release()
+
+    eng.spawn(worker("a", 100))
+    eng.spawn(worker("b", 100))
+    eng.spawn(worker("c", 100))
+    eng.run()
+    assert order == [("a", 0), ("b", 100), ("c", 200)]
+
+
+def test_capacity_two_allows_two_holders():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    order = []
+
+    def worker(tag):
+        yield res.acquire()
+        order.append((tag, eng.now))
+        yield eng.sleep(50)
+        res.release()
+
+    for tag in "abc":
+        eng.spawn(worker(tag))
+    eng.run()
+    assert order == [("a", 0), ("b", 0), ("c", 50)]
+
+
+def test_release_idle_raises():
+    eng = Engine()
+    res = Resource(eng)
+    with pytest.raises(SimError):
+        res.release()
+
+
+def test_bad_capacity_rejected():
+    eng = Engine()
+    with pytest.raises(SimError):
+        Resource(eng, capacity=0)
+
+
+def test_try_acquire():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    assert res.try_acquire()
+    assert not res.try_acquire()
+    res.release()
+    assert res.try_acquire()
+
+
+def test_wait_statistics():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def worker(hold_ns):
+        yield res.acquire()
+        yield eng.sleep(hold_ns)
+        res.release()
+
+    eng.spawn(worker(100))
+    eng.spawn(worker(100))
+    eng.spawn(worker(100))
+    eng.run()
+    assert res.stats.acquisitions == 3
+    assert res.stats.contended_acquisitions == 2
+    assert res.stats.total_wait_ns == 100 + 200
+    assert res.stats.max_wait_ns == 200
+    assert res.stats.max_queue_depth == 2
+    assert res.stats.mean_wait_ns == pytest.approx(100.0)
+
+
+def test_busy_time_tracking():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def worker():
+        yield res.acquire()
+        yield eng.sleep(100)
+        res.release()
+
+    def later():
+        yield eng.sleep(500)
+        yield res.acquire()
+        yield eng.sleep(100)
+        res.release()
+
+    eng.spawn(worker())
+    eng.spawn(later())
+    eng.run()
+    assert res.stats.busy_ns == 200  # two disjoint 100ns busy intervals
+
+
+def test_mutex_locked_section():
+    eng = Engine()
+    mtx = Mutex(eng, name="mmap_sem")
+    order = []
+
+    def body(tag):
+        order.append((tag, "in", eng.now))
+        yield eng.sleep(10)
+        order.append((tag, "out", eng.now))
+        return tag
+
+    def worker(tag):
+        result = yield from mtx.locked_section(body(tag))
+        return result
+
+    pa = eng.spawn(worker("a"))
+    pb = eng.spawn(worker("b"))
+    eng.run()
+    assert pa.result == "a" and pb.result == "b"
+    assert order == [
+        ("a", "in", 0),
+        ("a", "out", 10),
+        ("b", "in", 10),
+        ("b", "out", 20),
+    ]
+    assert mtx.in_use == 0
+
+
+def test_mutex_released_on_exception():
+    eng = Engine()
+    mtx = Mutex(eng)
+
+    def bad_body():
+        yield eng.sleep(1)
+        raise RuntimeError("inside lock")
+
+    def worker():
+        with pytest.raises(RuntimeError):
+            yield from mtx.locked_section(bad_body())
+        return mtx.in_use
+
+    assert eng.run_process(worker()) == 0
+
+
+def test_queue_depth_property():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def holder():
+        yield res.acquire()
+        yield eng.sleep(100)
+        res.release()
+
+    def prober():
+        yield eng.sleep(10)
+        return res.queue_depth
+
+    eng.spawn(holder())
+    eng.spawn(holder())
+    eng.spawn(holder())
+    p = eng.spawn(prober())
+    eng.run()
+    assert p.result == 2

@@ -1,0 +1,41 @@
+"""Smoke tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig5", "fig6", "fig7", "fig8", "fig9", "table2",
+                 "ablations", "explain"):
+        assert name in out
+
+
+def test_fig5_command(capsys):
+    assert main(["fig5", "--reps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "attach GiB/s" in out
+    assert "regenerated" in out
+
+
+def test_fig7_command(capsys):
+    assert main(["fig7", "--seconds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "SMI" in out
+
+
+def test_explain_command(capsys):
+    assert main(["explain"]) == 0
+    out = capsys.readouterr().out
+    assert "Kitten -> Linux (native)" in out
+    assert "VMM memory-map inserts" in out
+    assert "TOTAL" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

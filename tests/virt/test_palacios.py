@@ -1,0 +1,214 @@
+"""Unit tests for the Palacios VMM, PCI device, and guest kernel."""
+
+import numpy as np
+import pytest
+
+from repro.hw import NodeHardware, R420_SPEC
+from repro.hw.costs import MB, PAGE_4K
+from repro.hw.memory import FrameAllocator
+from repro.kernels import LinuxKernel
+from repro.sim import Engine
+from repro.virt import GuestLinuxKernel, PalaciosVmm
+
+
+def make_host(ram_frames=262144):
+    eng = Engine()
+    node = NodeHardware(eng, R420_SPEC)
+    rng = node.memory.zone(0).allocator.alloc(ram_frames)
+    host = LinuxKernel(
+        eng, node, node.cores[:4], FrameAllocator(rng.start_pfn, rng.nframes), name="host"
+    )
+    return eng, node, host
+
+
+def make_vm(host, node, ram_mb=256, backend="rbtree"):
+    return PalaciosVmm(
+        host,
+        vcpu_cores=node.cores[4:6],
+        ram_bytes=ram_mb * MB,
+        name="vm0",
+        memmap_backend=backend,
+    )
+
+
+def test_vm_ram_is_few_large_entries():
+    eng, node, host = make_host()
+    vm = make_vm(host, node, ram_mb=256)
+    # 256 MB in 128 MB blocks -> 2 entries
+    assert vm.boot_map_entries == 2
+    assert vm.memmap.num_entries == 2
+    assert vm.ram_frames == 256 * MB // PAGE_4K
+    del eng
+
+
+def test_vm_ram_validation():
+    eng, node, host = make_host()
+    with pytest.raises(ValueError):
+        PalaciosVmm(host, vcpu_cores=node.cores[4:5], ram_bytes=100)
+    with pytest.raises(ValueError):
+        PalaciosVmm(host, vcpu_cores=[], ram_bytes=1 * MB)
+    del eng
+
+
+def test_guest_ram_resolves_to_host_frames():
+    eng, node, host = make_host()
+    vm = make_vm(host, node)
+    guest = GuestLinuxKernel(eng, node, vm.vcpu_cores, vm, name="guest")
+    gpa = guest.alloc_pfns(16)
+    hpa = guest.gpa_to_hpa(gpa)
+    # the frames belong to the host partition
+    assert all(host.owns_pfn(int(h)) for h in hpa)
+    # and data written via guest frame view lands in host memory
+    guest.mem.frame_view(int(gpa[0]))[:4] = [1, 2, 3, 4]
+    assert list(node.memory.frame_view(int(hpa[0]))[:4]) == [1, 2, 3, 4]
+
+
+def test_map_host_pfns_into_guest_allocates_fresh_gpa():
+    eng, node, host = make_host()
+    vm = make_vm(host, node)
+    hpas = host.alloc_pfns(64, scattered=True)
+
+    def run():
+        gpas = yield from vm.map_host_pfns_into_guest(hpas)
+        return gpas
+
+    gpas = eng.run_process(run())
+    assert len(gpas) == 64
+    assert int(gpas[0]) >= vm.ram_frames  # never aliases RAM
+    got = vm.memmap.peek_translate_array(gpas)
+    assert (got == hpas).all()
+    assert len(vm.insert_work_log) == 1 and vm.insert_work_log[0] > 0
+
+
+def test_scattered_attach_inflates_map_and_work():
+    eng, node, host = make_host()
+    vm = make_vm(host, node)
+    base_entries = vm.memmap.num_entries
+    hpas = host.alloc_pfns(512, scattered=True)
+
+    def run():
+        yield from vm.map_host_pfns_into_guest(hpas)
+
+    eng.run_process(run())
+    assert vm.memmap.num_entries == base_entries + 512
+
+
+def test_unmap_guest_attachment_shrinks_map():
+    eng, node, host = make_host()
+    vm = make_vm(host, node)
+    hpas = host.alloc_pfns(32, scattered=True)
+
+    def run():
+        gpas = yield from vm.map_host_pfns_into_guest(hpas)
+        yield from vm.unmap_guest_attachment(gpas)
+        return gpas
+
+    eng.run_process(run())
+    assert vm.memmap.num_entries == vm.boot_map_entries
+
+
+def test_translate_guest_pfns_is_cheap_for_ram():
+    """Fig. 4(b): guest-export translation via big entries + cache."""
+    eng, node, host = make_host()
+    vm = make_vm(host, node)
+    guest = GuestLinuxKernel(eng, node, vm.vcpu_cores, vm, name="guest")
+    gpa = guest.alloc_pfns(4096)
+
+    def run():
+        t0 = eng.now
+        hpa = yield from vm.translate_guest_pfns(gpa)
+        return hpa, eng.now - t0
+
+    hpa, elapsed = eng.run_process(run())
+    assert (hpa == guest.gpa_to_hpa(gpa)).all()
+    # nearly every page hits the last-entry cache
+    per_page = elapsed / 4096
+    assert per_page < 3 * vm.costs.memmap_cache_hit_ns
+
+
+def test_rb_insert_cost_dominates_guest_attach():
+    """Table 2's 80%-in-map-updates observation, reproduced in-model."""
+    eng, node, host = make_host()
+    vm = make_vm(host, node)
+    hpas = host.alloc_pfns(8192, scattered=True)
+
+    def run():
+        t0 = eng.now
+        yield from vm.map_host_pfns_into_guest(hpas)
+        return eng.now - t0
+
+    elapsed = eng.run_process(run())
+    insert_ns = vm.insert_work_log[0]
+    assert insert_ns / elapsed > 0.9  # map update dominates the VMM step
+
+
+def test_pci_device_roundtrips():
+    eng, node, host = make_host()
+    vm = make_vm(host, node)
+    got = {}
+
+    def guest_handler(msg, pfns):
+        got["guest"] = (msg, None if pfns is None else list(pfns))
+        yield eng.sleep(10)
+        return "guest-ack"
+
+    def host_handler(msg, pfns):
+        got["host"] = (msg, None if pfns is None else list(pfns))
+        yield eng.sleep(10)
+        return "host-ack"
+
+    vm.pci.register_guest_handler(guest_handler)
+    vm.pci.register_host_handler(host_handler)
+
+    def run():
+        a = yield from vm.pci.host_to_guest("cmd1", np.array([1, 2, 3]))
+        b = yield from vm.pci.guest_to_host("cmd2")
+        return a, b
+
+    a, b = eng.run_process(run())
+    assert (a, b) == ("guest-ack", "host-ack")
+    assert got["guest"] == ("cmd1", [1, 2, 3])
+    assert got["host"] == ("cmd2", None)
+    assert vm.pci.virqs_raised == 1
+    assert vm.pci.hypercalls == 1
+
+
+def test_pci_unregistered_handler_fails():
+    eng, node, host = make_host()
+    vm = make_vm(host, node)
+
+    def run():
+        yield from vm.pci.host_to_guest("cmd")
+
+    with pytest.raises(RuntimeError, match="no guest handler"):
+        eng.run_process(run())
+
+
+def test_pci_handler_occupancy_lands_in_steal_log():
+    eng, node, host = make_host()
+    vm = make_vm(host, node)
+
+    def guest_handler(_msg, _pfns):
+        yield eng.sleep(500)
+
+    vm.pci.register_guest_handler(guest_handler)
+
+    def run():
+        yield from vm.pci.host_to_guest("cmd")
+
+    eng.run_process(run())
+    tags = [t for _s, _d, t in vm.vcpu_cores[0].steal_log]
+    assert any("virq" in t for t in tags)
+
+
+def test_radix_backend_vm():
+    eng, node, host = make_host()
+    vm = make_vm(host, node, backend="radix")
+    hpas = host.alloc_pfns(256, scattered=True)
+
+    def run():
+        gpas = yield from vm.map_host_pfns_into_guest(hpas)
+        return gpas
+
+    gpas = eng.run_process(run())
+    assert (vm.memmap.peek_translate_array(gpas) == hpas).all()

@@ -1,0 +1,95 @@
+"""Unit + property tests for the radix-map backend (ablation A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.virt.radixmap import RadixMap
+
+
+def test_insert_get_delete_roundtrip():
+    m = RadixMap()
+    m.insert(12345, "v")
+    assert m.get(12345) == "v"
+    assert 12345 in m and 12346 not in m
+    assert m.delete(12345) == "v"
+    assert len(m) == 0
+    with pytest.raises(KeyError):
+        m.get(12345)
+
+
+def test_duplicate_rejected():
+    m = RadixMap()
+    m.insert(1, "a")
+    with pytest.raises(KeyError):
+        m.insert(1, "b")
+
+
+def test_delete_missing_raises():
+    m = RadixMap()
+    with pytest.raises(KeyError):
+        m.delete(5)
+
+
+def test_key_space_bounds():
+    m = RadixMap()
+    with pytest.raises(ValueError):
+        m.insert(-1, None)
+    with pytest.raises(ValueError):
+        m.insert(1 << 36, None)
+    m.insert((1 << 36) - 1, "edge")
+    assert m.get((1 << 36) - 1) == "edge"
+
+
+def test_items_sorted_and_min_key():
+    m = RadixMap()
+    for k in [900, 5, 100_000, 37]:
+        m.insert(k, k)
+    assert m.keys() == [5, 37, 900, 100_000]
+    assert m.min_key() == 5
+
+
+def test_floor():
+    m = RadixMap()
+    for k in [10, 20, 30]:
+        m.insert(k, f"v{k}")
+    assert m.floor(5) is None
+    assert m.floor(20) == (20, "v20")
+    assert m.floor(25) == (20, "v20")
+
+
+def test_constant_levels_per_operation():
+    """The paper's future-work claim: no growth-dependent cost."""
+    m = RadixMap()
+    m.insert(0, None)
+    first = m.levels_touched
+    for k in range(1, 50_000):
+        m.insert(k, None)
+    per_insert = (m.levels_touched - first) / (50_000 - 1)
+    assert per_insert == 4.0  # exactly four levels, always
+
+
+def test_interior_pruning_keeps_iteration_fast():
+    m = RadixMap()
+    for k in range(0, 1 << 20, 1 << 10):
+        m.insert(k, None)
+    for k in range(0, 1 << 20, 1 << 10):
+        m.delete(k)
+    assert len(m) == 0
+    assert m.keys() == []
+    assert m.root == {}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.integers(0, (1 << 36) - 1), st.integers(), min_size=1, max_size=200))
+def test_property_matches_dict(d):
+    m = RadixMap()
+    for k, v in d.items():
+        m.insert(k, v)
+    assert len(m) == len(d)
+    assert m.keys() == sorted(d)
+    for k, v in d.items():
+        assert m.get(k) == v
+    for k in list(d):
+        m.delete(k)
+    assert len(m) == 0

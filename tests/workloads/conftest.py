@@ -1,0 +1,3 @@
+"""Reuse the kernels rig fixture for workload tests."""
+
+from tests.kernels.conftest import rig  # noqa: F401

@@ -1,0 +1,102 @@
+"""Tests for the HPCCG problem/solver: real numerics + timing model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.costs import CostModel
+from repro.workloads.hpccg import (
+    HpccgProblem,
+    HpccgSolver,
+    HpccgTiming,
+    NNZ_PER_ROW,
+    STENCIL_DIAG,
+)
+
+
+def test_problem_dimensions():
+    p = HpccgProblem(10, 20, 30)
+    assert p.rows == 6000
+    assert p.nnz == 6000 * 27
+    with pytest.raises(ValueError):
+        HpccgProblem(1, 10, 10)
+
+
+def test_iteration_time_scales_with_cores():
+    p = HpccgProblem(100, 100, 100)
+    c = CostModel()
+    assert p.iteration_ns(c, 1) == pytest.approx(8 * p.iteration_ns(c, 8), rel=1e-9)
+    with pytest.raises(ValueError):
+        p.iteration_ns(c, 0)
+
+
+def test_operator_center_point():
+    """A delta function maps to the stencil itself."""
+    p = HpccgProblem(5, 5, 5)
+    s = HpccgSolver(p)
+    x = np.zeros(p.rows)
+    center = 2 * 25 + 2 * 5 + 2  # (2,2,2)
+    x[center] = 1.0
+    y = s.apply(x)
+    grid = y.reshape(5, 5, 5)
+    assert grid[2, 2, 2] == STENCIL_DIAG
+    assert grid[1, 2, 2] == -1.0
+    assert grid[3, 3, 3] == -1.0
+    assert grid[0, 0, 0] == 0.0  # outside the 3^3 neighborhood
+    # exactly 27 nonzeros
+    assert np.count_nonzero(grid) == NNZ_PER_ROW
+
+
+def test_operator_is_symmetric():
+    p = HpccgProblem(4, 5, 6)
+    s = HpccgSolver(p)
+    rng = np.random.default_rng(1)
+    u = rng.standard_normal(p.rows)
+    v = rng.standard_normal(p.rows)
+    assert float(u @ s.apply(v)) == pytest.approx(float(v @ s.apply(u)), rel=1e-12)
+
+
+def test_operator_is_positive_definite_sample():
+    p = HpccgProblem(6, 6, 6)
+    s = HpccgSolver(p)
+    rng = np.random.default_rng(2)
+    for _ in range(5):
+        x = rng.standard_normal(p.rows)
+        assert float(x @ s.apply(x)) > 0
+
+
+def test_cg_converges_and_solves():
+    p = HpccgProblem(12, 12, 12)
+    s = HpccgSolver(p)
+    b = s.default_rhs(seed=3)
+    x, history = s.solve(b, tol=1e-10, max_iters=300)
+    assert history[-1] < 1e-10
+    # residual history is (essentially) decreasing
+    assert history[-1] < history[0]
+    # and the solution actually satisfies the system
+    assert np.linalg.norm(s.apply(x) - b) / np.linalg.norm(b) < 1e-9
+
+
+def test_cg_callback_fires_every_iteration():
+    p = HpccgProblem(8, 8, 8)
+    s = HpccgSolver(p)
+    seen = []
+    s.solve(s.default_rhs(), tol=0.0, max_iters=25,
+            callback=lambda it, res: seen.append(it))
+    assert seen == list(range(1, 26))
+
+
+def test_apply_shape_validation():
+    s = HpccgSolver(HpccgProblem(4, 4, 4))
+    with pytest.raises(ValueError):
+        s.apply(np.zeros(10))
+    with pytest.raises(ValueError):
+        s.solve(np.zeros(10))
+
+
+def test_timing_wrapper():
+    c = CostModel()
+    t = HpccgTiming(HpccgProblem(50, 50, 50), iterations=10, ncores=2,
+                    compute_slowdown=1.5)
+    assert t.total_compute_ns(c) == 10 * t.iteration_ns(c)
+    base = HpccgTiming(HpccgProblem(50, 50, 50), iterations=10, ncores=2)
+    assert t.iteration_ns(c) == pytest.approx(1.5 * base.iteration_ns(c), rel=0.01)

@@ -1,0 +1,77 @@
+"""Tests for the Selfish Detour benchmark (Fig. 7 machinery)."""
+
+import pytest
+
+from repro.kernels.noise import PeriodicNoise, attach_noise_profile
+from repro.workloads.selfish import SelfishDetour
+
+SECOND = 1_000_000_000
+
+
+def test_detours_merge_noise_and_steal_log(rig):
+    _eng, _node, _linux, kitten = rig
+    cid = kitten.cores[0].core_id
+    kitten.noise_sources[cid] = [
+        PeriodicNoise(10_000_000, 12_000, tag="hw-baseline")
+    ]
+    kitten.cores[0].log_steal(5_000_000, 23_000_000, "xemem-walk:262144p")
+    sd = SelfishDetour(kitten, cid)
+    events = sd.detours(0, SECOND)
+    tags = {ev.source for ev in events}
+    assert "hw-baseline" in tags and "xemem-walk:262144p" in tags
+    # sorted by time
+    times = [ev.time_ns for ev in events]
+    assert times == sorted(times)
+
+
+def test_threshold_filters_small_gaps(rig):
+    _eng, _node, _linux, kitten = rig
+    cid = kitten.cores[0].core_id
+    kitten.noise_sources[cid] = [PeriodicNoise(1_000_000, 500, tag="tiny")]
+    sd = SelfishDetour(kitten, cid, threshold_ns=1_000)
+    assert sd.detours(0, SECOND) == []
+    sd_fine = SelfishDetour(kitten, cid, threshold_ns=100)
+    assert len(sd_fine.detours(0, SECOND)) > 0
+
+
+def test_source_filter(rig):
+    _eng, _node, _linux, kitten = rig
+    cid = kitten.cores[0].core_id
+    attach_noise_profile(kitten, seed=1)
+    kitten.cores[0].log_steal(100, 50_000, "xemem-walk:512p")
+    sd = SelfishDetour(kitten, cid)
+    only_walks = sd.detours(0, SECOND, sources=["xemem-walk"])
+    assert len(only_walks) == 1
+    assert only_walks[0].duration_us == 50.0
+
+
+def test_kitten_profile_bands(rig):
+    """The Fig. 7 baseline: frequent ~12us events plus ~100us SMIs."""
+    _eng, _node, _linux, kitten = rig
+    attach_noise_profile(kitten, seed=2)
+    cid = kitten.cores[0].core_id
+    sd = SelfishDetour(kitten, cid)
+    events = sd.detours(0, 10 * SECOND)
+    baseline = [ev for ev in events if ev.source == "hw-baseline"]
+    smis = [ev for ev in events if ev.source == "smi"]
+    assert len(baseline) == pytest.approx(1000, abs=50)   # every ~10 ms
+    assert len(smis) == pytest.approx(10, abs=2)          # every ~1 s
+    assert all(abs(ev.duration_us - 12.0) < 1 for ev in baseline)
+    assert all(abs(ev.duration_us - 100.0) < 1 for ev in smis)
+
+
+def test_stolen_fraction(rig):
+    _eng, _node, _linux, kitten = rig
+    cid = kitten.cores[0].core_id
+    kitten.noise_sources[cid] = [PeriodicNoise(1_000_000, 100_000, tag="n")]
+    sd = SelfishDetour(kitten, cid)
+    assert sd.stolen_fraction(0, SECOND) == pytest.approx(0.1, rel=0.05)
+
+
+def test_window_validation(rig):
+    _eng, _node, _linux, kitten = rig
+    sd = SelfishDetour(kitten, kitten.cores[0].core_id)
+    with pytest.raises(ValueError):
+        sd.detours(100, 100)
+    with pytest.raises(ValueError):
+        SelfishDetour(kitten, 0, threshold_ns=0)

@@ -1,0 +1,74 @@
+"""Fixtures: fully assembled multi-enclave systems with XEMEM installed."""
+
+import pytest
+
+from repro.enclave import EnclaveSystem
+from repro.hw import NodeHardware, R420_SPEC
+from repro.hw.costs import GB, MB
+from repro.pisces import PiscesManager
+from repro.sim import Engine
+from repro.xemem import install_xemem
+
+
+def build_system(num_cokernels=1, with_vm=False, vm_host="linux",
+                 cokernel_mem=1536 * MB, memmap_backend="rbtree",
+                 ipi_target_policy="core0", vm_ram=2 * GB):
+    """The paper's standard single-node rig: Linux (name server) + Kitten
+    co-kernels, optionally a Palacios VM on Linux or on a co-kernel."""
+    eng = Engine()
+    node = NodeHardware(eng, R420_SPEC)
+    pisces = PiscesManager(node)
+    # Socket 0 / zone 0 for Linux; socket 1 / zone 1 for co-kernels —
+    # the paper pins each enclave to one NUMA socket (§5.1).
+    linux = pisces.boot_linux(core_ids=range(0, 8), mem_bytes=8 * GB)
+    # a co-kernel that hosts a VM needs the VM's RAM in its partition
+    extra = vm_ram + 256 * MB if (with_vm and vm_host == "kitten") else 0
+    cokernels = [
+        pisces.boot_cokernel(
+            core_ids=[12 + i],
+            mem_bytes=cokernel_mem + (extra if i == 0 else 0),
+            zone_id=1,
+            name=f"kitten{i}", ipi_target_policy=ipi_target_policy,
+        )
+        for i in range(num_cokernels)
+    ]
+    system = EnclaveSystem(node)
+    system.add_all(pisces.all_enclaves)
+    vm = None
+    if with_vm:
+        host = linux if vm_host == "linux" else cokernels[0]
+        vm = pisces.boot_vm(
+            host, core_ids=[20, 21], ram_bytes=vm_ram,
+            name="vm0", memmap_backend=memmap_backend,
+        )
+        system.add_enclave(vm)
+    system.designate_name_server(linux)
+    modules = install_xemem(system)
+    return {
+        "engine": eng,
+        "node": node,
+        "pisces": pisces,
+        "system": system,
+        "linux": linux,
+        "cokernels": cokernels,
+        "vm": vm,
+        "modules": modules,
+    }
+
+
+@pytest.fixture
+def basic():
+    """Linux (NS) + one Kitten co-kernel."""
+    return build_system(num_cokernels=1)
+
+
+@pytest.fixture
+def with_vm_on_linux():
+    """Linux (NS) + one Kitten co-kernel + VM hosted on Linux."""
+    return build_system(num_cokernels=1, with_vm=True, vm_host="linux")
+
+
+@pytest.fixture
+def with_vm_on_kitten():
+    """Linux (NS) + one Kitten co-kernel + VM hosted on the co-kernel."""
+    return build_system(num_cokernels=1, with_vm=True, vm_host="kitten")

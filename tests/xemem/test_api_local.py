@@ -1,0 +1,245 @@
+"""Tests for the XPMEM API within a single enclave (local fast paths)."""
+
+import pytest
+
+from repro.hw.costs import MB, PAGE_4K
+from repro.xemem import Permit, XememError, XpmemApi
+from repro.xemem.ids import PermissionError_
+
+
+def linux_pair(rig):
+    kernel = rig["linux"].kernel
+    exporter = kernel.create_process("exporter", core_id=1)
+    attacher = kernel.create_process("attacher", core_id=2)
+    return kernel, exporter, attacher
+
+
+def test_make_get_attach_detach_linux_local(basic):
+    eng = basic["engine"]
+    kernel, exporter, attacher = linux_pair(basic)
+
+    def run():
+        region = yield from kernel.mmap_anonymous(exporter, 1 * MB)
+        api_x = XpmemApi(exporter)
+        api_a = XpmemApi(attacher)
+        segid = yield from api_x.xpmem_make(region.start, 1 * MB)
+        apid = yield from api_a.xpmem_get(segid)
+        att = yield from api_a.xpmem_attach(apid)
+        # zero-copy: exporter writes, attacher reads
+        api_x.segment(segid).view().write(100, b"hello local")
+        got = att.read(100, 11)
+        yield from api_a.xpmem_detach(att)
+        yield from api_a.xpmem_release(apid)
+        yield from api_x.xpmem_remove(segid)
+        return got, att.kind
+
+    got, kind = eng.run_process(run())
+    assert got == b"hello local"
+    assert kind == "linux-lazy"
+
+
+def test_linux_local_attach_faults_on_touch(basic):
+    """Fig. 8(b)'s mechanism: local attachments demand-page."""
+    eng = basic["engine"]
+    kernel, exporter, attacher = linux_pair(basic)
+
+    def run():
+        region = yield from kernel.mmap_anonymous(exporter, 64 * PAGE_4K)
+        api_x, api_a = XpmemApi(exporter), XpmemApi(attacher)
+        segid = yield from api_x.xpmem_make(region.start, 64 * PAGE_4K)
+        apid = yield from api_a.xpmem_get(segid)
+        att = yield from api_a.xpmem_attach(apid)
+        before = kernel.fault_count
+        faults = yield from kernel.touch_pages(attacher, att.vaddr, att.npages)
+        return faults, kernel.fault_count - before
+
+    faults, delta = eng.run_process(run())
+    assert faults == 64
+    assert delta == 64
+
+
+def test_kitten_local_attach_uses_smartmap(basic):
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    donor = kitten.create_process("donor")
+    attacher = kitten.create_process("att")
+    heap = kitten.heap_region(donor)
+
+    def run():
+        api_d, api_a = XpmemApi(donor), XpmemApi(attacher)
+        segid = yield from api_d.xpmem_make(heap.start, heap.nbytes)
+        apid = yield from api_a.xpmem_get(segid)
+        att = yield from api_a.xpmem_attach(apid)
+        # data flows both ways through the alias
+        att.write(0, b"from attacher")
+        got = api_d.segment(segid).view().read(0, 13)
+        # SMARTMAP address is in the donor's PML4 slot
+        assert att.vaddr == kitten.smartmap_address(donor, heap.start)
+        assert attacher.aspace.table.translate(att.vaddr)
+        yield from api_a.xpmem_detach(att)
+        return got, att.kind
+
+    got, kind = eng.run_process(run())
+    assert got == b"from attacher"
+    assert kind == "smartmap"
+
+
+def test_smartmap_refcount_two_attachments(basic):
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    donor = kitten.create_process("donor")
+    attacher = kitten.create_process("att")
+    heap = kitten.heap_region(donor)
+
+    def run():
+        api_d, api_a = XpmemApi(donor), XpmemApi(attacher)
+        s1 = yield from api_d.xpmem_make(heap.start, 16 * PAGE_4K)
+        s2 = yield from api_d.xpmem_make(heap.start + 32 * PAGE_4K, 16 * PAGE_4K)
+        a1 = yield from api_a.xpmem_get(s1)
+        a2 = yield from api_a.xpmem_get(s2)
+        att1 = yield from api_a.xpmem_attach(a1)
+        att2 = yield from api_a.xpmem_attach(a2)
+        yield from api_a.xpmem_detach(att1)
+        # second attachment still translates after the first detach
+        assert attacher.aspace.table.translate(att2.vaddr)
+        yield from api_a.xpmem_detach(att2)
+        return True
+
+    assert eng.run_process(run())
+
+
+def test_permission_denied_on_restrictive_permit(basic):
+    eng = basic["engine"]
+    kernel, exporter, attacher = linux_pair(basic)
+
+    def run():
+        region = yield from kernel.mmap_anonymous(exporter, 16 * PAGE_4K)
+        api_x, api_a = XpmemApi(exporter), XpmemApi(attacher)
+        segid = yield from api_x.xpmem_make(
+            region.start, 16 * PAGE_4K, permit=Permit(mode=0o600)
+        )
+        with pytest.raises(PermissionError_):
+            yield from api_a.xpmem_get(segid)
+        # read-only permit rejects write access but allows read
+        segid_ro = yield from api_x.xpmem_make(
+            region.start + 8 * PAGE_4K, 4 * PAGE_4K, permit=Permit(mode=0o644)
+        )
+        with pytest.raises(PermissionError_):
+            yield from api_a.xpmem_get(segid_ro, write=True)
+        apid = yield from api_a.xpmem_get(segid_ro, write=False)
+        return apid
+
+    assert eng.run_process(run()) is not None
+
+
+def test_make_validates_alignment(basic):
+    eng = basic["engine"]
+    kernel, exporter, _ = linux_pair(basic)
+
+    def run():
+        api = XpmemApi(exporter)
+        with pytest.raises(XememError):
+            yield from api.xpmem_make(0x1001, PAGE_4K)
+        with pytest.raises(XememError):
+            yield from api.xpmem_make(0x1000, 0)
+        return True
+
+    assert eng.run_process(run())
+
+
+def test_attach_window_offset_and_size(basic):
+    eng = basic["engine"]
+    kernel, exporter, attacher = linux_pair(basic)
+
+    def run():
+        region = yield from kernel.mmap_anonymous(exporter, 64 * PAGE_4K)
+        yield from kernel.touch_pages(exporter, region.start, 64)
+        api_x, api_a = XpmemApi(exporter), XpmemApi(attacher)
+        segid = yield from api_x.xpmem_make(region.start, 64 * PAGE_4K)
+        apid = yield from api_a.xpmem_get(segid)
+        att = yield from api_a.xpmem_attach(apid, offset=8 * PAGE_4K, size=4 * PAGE_4K)
+        assert att.npages == 4
+        api_x.segment(segid).view().write(8 * PAGE_4K + 5, b"window")
+        got = att.read(5, 6)
+        with pytest.raises(XememError):
+            yield from api_a.xpmem_attach(apid, offset=62 * PAGE_4K, size=16 * PAGE_4K)
+        with pytest.raises(XememError):
+            yield from api_a.xpmem_attach(apid, offset=3)  # unaligned
+        return got
+
+    assert eng.run_process(run()) == b"window"
+
+
+def test_remove_then_get_fails(basic):
+    eng = basic["engine"]
+    kernel, exporter, attacher = linux_pair(basic)
+
+    def run():
+        region = yield from kernel.mmap_anonymous(exporter, 4 * PAGE_4K)
+        api_x, api_a = XpmemApi(exporter), XpmemApi(attacher)
+        segid = yield from api_x.xpmem_make(region.start, 4 * PAGE_4K)
+        yield from api_x.xpmem_remove(segid)
+        with pytest.raises(XememError):
+            yield from api_a.xpmem_get(segid)
+        # double remove also fails
+        with pytest.raises(XememError):
+            yield from api_x.xpmem_remove(segid)
+        return True
+
+    assert eng.run_process(run())
+
+
+def test_double_detach_rejected(basic):
+    eng = basic["engine"]
+    kernel, exporter, attacher = linux_pair(basic)
+
+    def run():
+        region = yield from kernel.mmap_anonymous(exporter, 4 * PAGE_4K)
+        api_x, api_a = XpmemApi(exporter), XpmemApi(attacher)
+        segid = yield from api_x.xpmem_make(region.start, 4 * PAGE_4K)
+        apid = yield from api_a.xpmem_get(segid)
+        att = yield from api_a.xpmem_attach(apid)
+        yield from api_a.xpmem_detach(att)
+        with pytest.raises(XememError):
+            yield from api_a.xpmem_detach(att)
+        return True
+
+    assert eng.run_process(run())
+
+
+def test_release_refused_while_attached(basic):
+    """XPMEM semantics: detach before release."""
+    eng = basic["engine"]
+    kernel, exporter, attacher = linux_pair(basic)
+
+    def run():
+        region = yield from kernel.mmap_anonymous(exporter, 4 * PAGE_4K)
+        api_x, api_a = XpmemApi(exporter), XpmemApi(attacher)
+        segid = yield from api_x.xpmem_make(region.start, 4 * PAGE_4K)
+        apid = yield from api_a.xpmem_get(segid)
+        att = yield from api_a.xpmem_attach(apid)
+        with pytest.raises(XememError, match="live attachment"):
+            yield from api_a.xpmem_release(apid)
+        yield from api_a.xpmem_detach(att)
+        yield from api_a.xpmem_release(apid)  # now fine
+        return True
+
+    assert eng.run_process(run())
+
+
+def test_grant_bookkeeping(basic):
+    eng = basic["engine"]
+    kernel, exporter, attacher = linux_pair(basic)
+
+    def run():
+        region = yield from kernel.mmap_anonymous(exporter, 4 * PAGE_4K)
+        api_x, api_a = XpmemApi(exporter), XpmemApi(attacher)
+        segid = yield from api_x.xpmem_make(region.start, 4 * PAGE_4K)
+        seg = api_x.segment(segid)
+        apid = yield from api_a.xpmem_get(segid)
+        assert seg.grants_out == 1
+        yield from api_a.xpmem_release(apid)
+        assert seg.grants_out == 0
+        return True
+
+    assert eng.run_process(run())

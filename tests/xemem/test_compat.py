@@ -1,0 +1,129 @@
+"""Tests for the strict XPMEM C-API compatibility shim."""
+
+import errno
+
+import pytest
+
+from repro.hw.costs import PAGE_4K
+from repro.xemem.compat import (
+    XPMEM_CURRENT_VERSION,
+    XPMEM_PERMIT_MODE,
+    XPMEM_RDONLY,
+    XPMEM_RDWR,
+    XpmemCompat,
+    xpmem_version,
+)
+
+
+def test_version():
+    assert xpmem_version() == XPMEM_CURRENT_VERSION
+    assert XPMEM_CURRENT_VERSION >> 16 == 2
+
+
+def test_full_c_style_lifecycle(basic):
+    """An unmodified XPMEM application's call sequence, cross-enclave."""
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("exp")
+    lp = linux.create_process("att", core_id=2)
+    heap = kitten.heap_region(kp)
+    x = XpmemCompat(kp)
+    a = XpmemCompat(lp)
+
+    def run():
+        segid = yield from x.xpmem_make(
+            heap.start, 8 * PAGE_4K, XPMEM_PERMIT_MODE, 0o666
+        )
+        assert segid > 0
+        apid = yield from a.xpmem_get(segid, XPMEM_RDWR, XPMEM_PERMIT_MODE, 0)
+        assert apid > 0
+        vaddr = yield from a.xpmem_attach(apid, 0, 8 * PAGE_4K)
+        assert vaddr > 0
+        a.deref(vaddr).write(0, b"compat")
+        got = a.deref(vaddr).read(0, 6)
+        assert (yield from a.xpmem_detach(vaddr)) == 0
+        assert (yield from a.xpmem_release(apid)) == 0
+        assert (yield from x.xpmem_remove(segid)) == 0
+        return got
+
+    assert eng.run_process(run()) == b"compat"
+
+
+def test_c_style_error_codes(basic):
+    eng = basic["engine"]
+    linux = basic["linux"].kernel
+    lp = linux.create_process("p", core_id=1)
+    c = XpmemCompat(lp)
+
+    def run():
+        # bad permit type
+        assert (yield from c.xpmem_make(0x1000, 4096, 0x2, 0o666)) == -errno.EINVAL
+        # bad permit value
+        assert (yield from c.xpmem_make(0x1000, 4096, XPMEM_PERMIT_MODE, 0o7777)) \
+            == -errno.EINVAL
+        # unaligned make
+        assert (yield from c.xpmem_make(0x1001, 4096, XPMEM_PERMIT_MODE, 0o666)) \
+            == -errno.EINVAL
+        # get on a nonexistent segid
+        assert (yield from c.xpmem_get(0x999999, XPMEM_RDWR, XPMEM_PERMIT_MODE, 0)) \
+            == -errno.ENOENT
+        # bad flags
+        assert (yield from c.xpmem_get(0x1000, 0x4, XPMEM_PERMIT_MODE, 0)) \
+            == -errno.EINVAL
+        # detach of an address never attached
+        assert (yield from c.xpmem_detach(0xDEAD000)) == -errno.EINVAL
+        # release of a bogus apid
+        assert (yield from c.xpmem_release(12345)) == -errno.EINVAL
+        return True
+
+    assert eng.run_process(run())
+
+
+def test_permission_denied_maps_to_eacces(basic):
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("exp")
+    lp = linux.create_process("att", core_id=2)
+    heap = kitten.heap_region(kp)
+    x, a = XpmemCompat(kp), XpmemCompat(lp)
+
+    def run():
+        segid = yield from x.xpmem_make(
+            heap.start, PAGE_4K, XPMEM_PERMIT_MODE, 0o600
+        )
+        got = yield from a.xpmem_get(segid, XPMEM_RDWR, XPMEM_PERMIT_MODE, 0)
+        assert got == -errno.EACCES
+        # read-only permit: RDWR denied, RDONLY granted
+        segid_ro = yield from x.xpmem_make(
+            heap.start + PAGE_4K, PAGE_4K, XPMEM_PERMIT_MODE, 0o644
+        )
+        assert (yield from a.xpmem_get(segid_ro, XPMEM_RDWR, XPMEM_PERMIT_MODE, 0)) \
+            == -errno.EACCES
+        apid = yield from a.xpmem_get(segid_ro, XPMEM_RDONLY, XPMEM_PERMIT_MODE, 0)
+        assert apid > 0
+        return True
+
+    assert eng.run_process(run())
+
+
+def test_attach_out_of_range_einval(basic):
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("exp")
+    lp = linux.create_process("att", core_id=2)
+    heap = kitten.heap_region(kp)
+    x, a = XpmemCompat(kp), XpmemCompat(lp)
+
+    def run():
+        segid = yield from x.xpmem_make(
+            heap.start, 4 * PAGE_4K, XPMEM_PERMIT_MODE, 0o666
+        )
+        apid = yield from a.xpmem_get(segid, XPMEM_RDWR, XPMEM_PERMIT_MODE, 0)
+        bad = yield from a.xpmem_attach(apid, 8 * PAGE_4K, 4 * PAGE_4K)
+        assert bad == -errno.EINVAL
+        return True
+
+    assert eng.run_process(run())

@@ -1,0 +1,174 @@
+"""Concurrency and windowed-attach behaviour across enclaves."""
+
+import numpy as np
+import pytest
+
+from repro.hw.costs import PAGE_4K
+from repro.xemem import XememError, XpmemApi
+
+from tests.xemem.conftest import build_system
+
+
+def test_remote_windowed_attach(basic):
+    """Offset/size windows work across the enclave boundary too."""
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("exp")
+    lp = linux.create_process("att", core_id=2)
+    heap = kitten.heap_region(kp)
+
+    def run():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(heap.start, 64 * PAGE_4K)
+        apid = yield from api_l.xpmem_get(segid)
+        att = yield from api_l.xpmem_attach(apid, offset=16 * PAGE_4K,
+                                            size=8 * PAGE_4K)
+        assert att.npages == 8
+        api_k.segment(segid).view().write(16 * PAGE_4K + 3, b"windowed")
+        got = att.read(3, 8)
+        # out-of-range windows rejected by the owner
+        with pytest.raises(XememError):
+            yield from api_l.xpmem_attach(apid, offset=60 * PAGE_4K,
+                                          size=16 * PAGE_4K)
+        return got
+
+    assert eng.run_process(run()) == b"windowed"
+
+
+def test_windowed_attach_maps_only_window_frames(basic):
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("exp")
+    lp = linux.create_process("att", core_id=2)
+    heap = kitten.heap_region(kp)
+
+    def run():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(heap.start, 64 * PAGE_4K)
+        apid = yield from api_l.xpmem_get(segid)
+        att = yield from api_l.xpmem_attach(apid, offset=16 * PAGE_4K,
+                                            size=8 * PAGE_4K)
+        return att
+
+    att = eng.run_process(run())
+    window_pfns = lp.aspace.table.translate_range(att.vaddr, 8)
+    exporter_pfns = kp.aspace.table.translate_range(
+        heap.start + 16 * PAGE_4K, 8
+    )
+    assert (window_pfns == exporter_pfns).all()
+
+
+def test_many_attachers_one_segment(basic):
+    """Several Linux processes attach the same Kitten segment at once."""
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("exp")
+    heap = kitten.heap_region(kp)
+    api_k = XpmemApi(kp)
+    seg_event = eng.event("segid")
+    reads = {}
+
+    def exporter():
+        segid = yield from api_k.xpmem_make(heap.start, 32 * PAGE_4K)
+        api_k.segment(segid).view().write(0, b"fanout!!")
+        seg_event.trigger(segid)
+
+    def attacher(i):
+        segid = yield seg_event
+        proc = linux.create_process(f"att{i}", core_id=1 + i)
+        api = XpmemApi(proc)
+        apid = yield from api.xpmem_get(segid)
+        att = yield from api.xpmem_attach(apid)
+        reads[i] = att.read(0, 8)
+        yield from api.xpmem_detach(att)
+        yield from api.xpmem_release(apid)
+
+    eng.spawn(exporter())
+    procs = [eng.spawn(attacher(i)) for i in range(5)]
+    eng.run()
+    assert all(p.finished and not p.failed for p in procs)
+    assert all(reads[i] == b"fanout!!" for i in range(5))
+    # all grants returned
+    seg = next(iter(api_k._segments.values()))
+    assert seg.grants_out == 0
+
+
+def test_detach_one_attacher_leaves_others_live(basic):
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("exp")
+    heap = kitten.heap_region(kp)
+    lp1 = linux.create_process("a", core_id=1)
+    lp2 = linux.create_process("b", core_id=2)
+
+    def run():
+        api_k = XpmemApi(kp)
+        api1, api2 = XpmemApi(lp1), XpmemApi(lp2)
+        segid = yield from api_k.xpmem_make(heap.start, 8 * PAGE_4K)
+        ap1 = yield from api1.xpmem_get(segid)
+        ap2 = yield from api2.xpmem_get(segid)
+        att1 = yield from api1.xpmem_attach(ap1)
+        att2 = yield from api2.xpmem_attach(ap2)
+        yield from api1.xpmem_detach(att1)
+        api_k.segment(segid).view().write(0, b"still here")
+        return att2.read(0, 10)
+
+    assert eng.run_process(run()) == b"still here"
+
+
+def test_concurrent_recurring_cycles_interleave(basic):
+    """Two independent exporter/attacher pairs cycling concurrently on
+    the same pair of enclaves never corrupt each other's registries."""
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    results = {}
+
+    def pair(i):
+        kp = kitten.create_process(f"exp{i}")
+        lp = linux.create_process(f"att{i}", core_id=1 + i)
+        heap = kitten.heap_region(kp)
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        seen = []
+        for cycle in range(6):
+            segid = yield from api_k.xpmem_make(heap.start, 4 * PAGE_4K)
+            api_k.segment(segid).view().write(0, bytes([i * 16 + cycle]))
+            apid = yield from api_l.xpmem_get(segid)
+            att = yield from api_l.xpmem_attach(apid)
+            seen.append(att.read(0, 1)[0])
+            yield from api_l.xpmem_detach(att)
+            yield from api_l.xpmem_release(apid)
+            yield from api_k.xpmem_remove(segid)
+        results[i] = seen
+
+    procs = [eng.spawn(pair(i)) for i in range(2)]
+    eng.run()
+    assert all(p.finished and not p.failed for p in procs)
+    for i in range(2):
+        assert results[i] == [i * 16 + c for c in range(6)]
+
+
+def test_apid_isolated_per_process(basic):
+    """A grant issued to one process cannot be attached by another."""
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("exp")
+    heap = kitten.heap_region(kp)
+    lp1 = linux.create_process("a", core_id=1)
+    lp2 = linux.create_process("b", core_id=2)
+
+    def run():
+        api_k = XpmemApi(kp)
+        api1, api2 = XpmemApi(lp1), XpmemApi(lp2)
+        segid = yield from api_k.xpmem_make(heap.start, 4 * PAGE_4K)
+        apid = yield from api1.xpmem_get(segid)
+        with pytest.raises(XememError):
+            yield from api2.xpmem_attach(apid)
+        return True
+
+    assert eng.run_process(run())

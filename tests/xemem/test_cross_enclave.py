@@ -1,0 +1,239 @@
+"""Integration tests: cross-enclave attachments (the Fig. 3 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.costs import MB, PAGE_4K
+from repro.xemem import XememError, XpmemApi
+
+from tests.xemem.conftest import build_system
+
+
+def test_kitten_export_linux_attach(basic):
+    """The paper's main configuration: Kitten exports, Linux attaches."""
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("sim")
+    lp = linux.create_process("analytics", core_id=2)
+    heap = kitten.heap_region(kp)
+
+    def run():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(heap.start, 1 * MB)
+        apid = yield from api_l.xpmem_get(segid)
+        att = yield from api_l.xpmem_attach(apid)
+        # cross-enclave zero copy, both directions
+        api_k.segment(segid).view().write(0, b"sim output")
+        assert att.read(0, 10) == b"sim output"
+        att.write(100, b"analytics reply")
+        got = api_k.segment(segid).view().read(100, 15)
+        # the attachment is an EAGER mapping of the kitten frames
+        pfns = lp.aspace.table.translate_range(att.vaddr, att.npages)
+        assert all(kitten.owns_pfn(int(p)) for p in pfns)
+        yield from api_l.xpmem_detach(att)
+        return got, att.kind
+
+    got, kind = eng.run_process(run())
+    assert got == b"analytics reply"
+    assert kind == "remote"
+    assert basic["cokernels"][0].module.stats["attaches_served"] == 1
+    assert basic["linux"].module.stats["attaches_made"] == 1
+
+
+def test_linux_export_kitten_attach(basic):
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    lp = linux.create_process("exporter", core_id=1)
+    kp = kitten.create_process("attacher")
+
+    def run():
+        region = yield from linux.mmap_anonymous(lp, 1 * MB)
+        api_l, api_k = XpmemApi(lp), XpmemApi(kp)
+        segid = yield from api_l.xpmem_make(region.start, 1 * MB)
+        apid = yield from api_k.xpmem_get(segid)
+        att = yield from api_k.xpmem_attach(apid)
+        api_l.segment(segid).view().write(7, b"linux data")
+        got = att.read(7, 10)
+        # kitten placed it via dynamic heap expansion
+        heap = kitten.heap_region(kp)
+        assert att.vaddr >= heap.end
+        return got
+
+    assert eng.run_process(run()) == b"linux data"
+
+
+def test_kitten_to_kitten_attach_routes_via_linux():
+    """Owner and attacher in sibling co-kernels: commands route through
+    the name server's enclave (two hops each way)."""
+    rig = build_system(num_cokernels=2)
+    eng = rig["engine"]
+    k0, k1 = (e.kernel for e in rig["cokernels"])
+    exp = k0.create_process("exp")
+    att_p = k1.create_process("att")
+    heap = k0.heap_region(exp)
+
+    def run():
+        api_x, api_a = XpmemApi(exp), XpmemApi(att_p)
+        segid = yield from api_x.xpmem_make(heap.start, 64 * PAGE_4K)
+        apid = yield from api_a.xpmem_get(segid)
+        att = yield from api_a.xpmem_attach(apid)
+        api_x.segment(segid).view().write(0, b"sibling")
+        return att.read(0, 7)
+
+    assert eng.run_process(run()) == b"sibling"
+    # the linux enclave forwarded segment traffic it did not originate
+    assert rig["linux"].module.stats["messages_forwarded"] > 0
+
+
+def test_discoverability_by_name(basic):
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("sim")
+    lp = linux.create_process("analytics", core_id=2)
+    heap = kitten.heap_region(kp)
+
+    def run():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(
+            heap.start, 16 * PAGE_4K, name="sim-output"
+        )
+        found = yield from api_l.xpmem_search("sim-output")
+        assert found == segid
+        missing = yield from api_l.xpmem_search("nope")
+        assert missing is None
+        # duplicate names are rejected by the name server
+        with pytest.raises(XememError):
+            yield from api_k.xpmem_make(
+                heap.start + 16 * PAGE_4K, PAGE_4K, name="sim-output"
+            )
+        return True
+
+    assert eng.run_process(run())
+
+
+def test_list_names_discoverability(basic):
+    """§3.1: the name server enumerates registered segment names."""
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("sim")
+    lp = linux.create_process("obs", core_id=3)
+    heap = kitten.heap_region(kp)
+
+    def run():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        s1 = yield from api_k.xpmem_make(heap.start, 4 * PAGE_4K, name="sim-grid")
+        s2 = yield from api_k.xpmem_make(
+            heap.start + 4 * PAGE_4K, 4 * PAGE_4K, name="sim-flags"
+        )
+        _anon = yield from api_k.xpmem_make(heap.start + 8 * PAGE_4K, 4 * PAGE_4K)
+        # query from a remote enclave (routed) and locally at the NS
+        remote_view = yield from XpmemApi(
+            kitten.create_process("q")
+        ).xpmem_list("sim-")
+        local_view = yield from api_l.xpmem_list()
+        assert remote_view == {"sim-grid": s1, "sim-flags": s2}
+        assert set(local_view) == {"sim-grid", "sim-flags"}
+        # removal drops the name from the listing
+        yield from api_k.xpmem_remove(s1)
+        after = yield from api_l.xpmem_list("sim-")
+        assert set(after) == {"sim-flags"}
+        return True
+
+    assert eng.run_process(run())
+
+
+def test_attach_unknown_segid_errors(basic):
+    eng = basic["engine"]
+    linux = basic["linux"].kernel
+    lp = linux.create_process("p", core_id=1)
+
+    def run():
+        from repro.xemem.ids import SegmentId
+
+        api = XpmemApi(lp)
+        with pytest.raises(XememError, match="unknown"):
+            yield from api.xpmem_get(SegmentId(0x999999))
+        return True
+
+    assert eng.run_process(run())
+
+
+def test_concurrent_attachments_from_multiple_enclaves():
+    """The Fig. 6 scenario: one Linux process per co-kernel, all attaching
+    simultaneously."""
+    rig = build_system(num_cokernels=4)
+    eng = rig["engine"]
+    linux = rig["linux"].kernel
+    results = {}
+
+    def pair(i, kitten_enclave):
+        kitten = kitten_enclave.kernel
+        kp = kitten.create_process(f"exp{i}")
+        lp = linux.create_process(f"att{i}", core_id=1 + i)
+        heap = kitten.heap_region(kp)
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(heap.start, 128 * PAGE_4K)
+        apid = yield from api_l.xpmem_get(segid)
+        att = yield from api_l.xpmem_attach(apid)
+        api_k.segment(segid).view().write(0, bytes([i] * 8))
+        results[i] = att.read(0, 8)
+        yield from api_l.xpmem_detach(att)
+
+    procs = [
+        eng.spawn(pair(i, ke), name=f"pair{i}")
+        for i, ke in enumerate(rig["cokernels"])
+    ]
+    eng.run()
+    assert all(p.finished and not p.failed for p in procs)
+    for i in range(4):
+        assert results[i] == bytes([i] * 8)
+
+
+def test_detach_remote_unmaps_and_keeps_frames(basic):
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("exp")
+    lp = linux.create_process("att", core_id=2)
+    heap = kitten.heap_region(kp)
+    used_before = kitten.allocator.used_frames
+
+    def run():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(heap.start, 64 * PAGE_4K)
+        apid = yield from api_l.xpmem_get(segid)
+        att = yield from api_l.xpmem_attach(apid)
+        yield from api_l.xpmem_detach(att)
+        return att
+
+    att = eng.run_process(run())
+    # attacher's mapping is gone
+    assert lp.aspace.find_region(att.vaddr) is None
+    # exporter frames were NOT freed (they belong to the kitten process)
+    assert kitten.allocator.used_frames == used_before
+
+
+def test_exporter_data_written_before_attach_is_visible(basic):
+    """Attach maps the same frames, regardless of when data was written."""
+    eng = basic["engine"]
+    kitten = basic["cokernels"][0].kernel
+    linux = basic["linux"].kernel
+    kp = kitten.create_process("exp")
+    lp = linux.create_process("att", core_id=2)
+    heap = kitten.heap_region(kp)
+    # write before exporting anything
+    pfns = kp.aspace.table.translate_range(heap.start, 4)
+    kitten.mem.map_region(pfns).write(0, b"early bird")
+
+    def run():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(heap.start, 4 * PAGE_4K)
+        apid = yield from api_l.xpmem_get(segid)
+        att = yield from api_l.xpmem_attach(apid)
+        return att.read(0, 10)
+
+    assert eng.run_process(run()) == b"early bird"

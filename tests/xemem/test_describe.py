@@ -1,0 +1,23 @@
+"""Tests for EnclaveSystem.describe()."""
+
+from tests.xemem.conftest import build_system
+
+
+def test_describe_shape():
+    rig = build_system(num_cokernels=2, with_vm=True, vm_host="kitten")
+    desc = rig["system"].describe()
+    by_name = {d["name"]: d for d in desc}
+    assert by_name["linux"]["is_name_server"]
+    assert by_name["linux"]["id"] == 0
+    assert by_name["linux"]["name_server_via"] == "local"
+    assert by_name["kitten0"]["kernel"] == "kitten"
+    assert by_name["kitten0"]["name_server_via"] == "linux"
+    vm = by_name["vm0"]
+    assert vm["virtualized"] and vm["kernel"] == "linux"
+    assert vm["name_server_via"] == "kitten0"
+    # the name server routes to everyone
+    assert set(by_name["linux"]["routes"]) == {
+        d["id"] for d in desc if d["id"] != 0
+    }
+    # cores and frames reported
+    assert all(d["cores"] and d["frames"] > 0 for d in desc)

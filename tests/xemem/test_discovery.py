@@ -1,0 +1,103 @@
+"""Tests for the §3.2 discovery and routing protocol."""
+
+import pytest
+
+from repro.enclave import EnclaveSystem
+from repro.enclave.topology import DiscoveryError
+from repro.xemem.routing import RoutingError, RoutingTable
+
+from tests.xemem.conftest import build_system
+
+
+def test_name_server_gets_id_zero(basic):
+    assert basic["linux"].enclave_id == 0
+
+
+def test_every_enclave_discovered(basic):
+    for enclave in basic["system"].enclaves:
+        assert enclave.enclave_id is not None
+        assert enclave.module.routing.discovered
+
+
+def test_ids_are_unique():
+    rig = build_system(num_cokernels=8)
+    ids = [e.enclave_id for e in rig["system"].enclaves]
+    assert len(set(ids)) == len(ids)
+    assert sorted(ids) == list(range(9))
+
+
+def test_cokernel_ns_channel_points_to_linux(basic):
+    kitten = basic["cokernels"][0]
+    ch = kitten.module.routing.ns_channel
+    assert ch is not None
+    assert ch.other(kitten) is basic["linux"]
+
+
+def test_ns_learns_routes_to_all():
+    rig = build_system(num_cokernels=4)
+    linux_routes = rig["linux"].module.routing.routes
+    for kitten in rig["cokernels"]:
+        assert kitten.enclave_id in linux_routes
+        assert linux_routes[kitten.enclave_id].other(rig["linux"]) is kitten
+
+
+def test_vm_discovery_routes_through_host():
+    """A VM on a Kitten host is two hops from the name server: the name
+    server must route to it via the Kitten channel, and the Kitten must
+    have learned the final hop."""
+    rig = build_system(num_cokernels=1, with_vm=True, vm_host="kitten")
+    vm, kitten, linux = rig["vm"], rig["cokernels"][0], rig["linux"]
+    assert vm.enclave_id is not None
+    # NS routes toward the VM via the kitten channel
+    ns_hop = linux.module.routing.routes[vm.enclave_id]
+    assert ns_hop.other(linux) is kitten
+    # the kitten routes the final hop to the VM
+    kitten_hop = kitten.module.routing.routes[vm.enclave_id]
+    assert kitten_hop.other(kitten) is vm
+    # the VM's NS path goes up through the kitten
+    assert vm.module.routing.ns_channel.other(vm) is kitten
+
+
+def test_routing_rule_falls_back_to_ns_channel(basic):
+    kitten = basic["cokernels"][0]
+    table = kitten.module.routing
+    # kitten knows no route to enclave 77: must pick the NS channel
+    assert table.channel_for(77) is table.ns_channel
+
+
+def test_routing_error_without_ns_path():
+    table = RoutingTable()
+    with pytest.raises(RoutingError):
+        table.channel_for(5)
+
+
+def test_disconnected_topology_rejected():
+    from repro.enclave import Enclave
+    from repro.hw import NodeHardware, R420_SPEC
+    from repro.hw.costs import GB
+    from repro.pisces import PiscesManager
+    from repro.sim import Engine
+
+    eng = Engine()
+    node = NodeHardware(eng, R420_SPEC)
+    pisces = PiscesManager(node)
+    linux = pisces.boot_linux(core_ids=range(0, 4), mem_bytes=4 * GB)
+    system = EnclaveSystem(node)
+    system.add_enclave(linux)
+    # an enclave with no channels at all
+    from repro.hw.memory import FrameAllocator
+    from repro.kernels import KittenKernel
+
+    rng = node.memory.zone(0).allocator.alloc(1024)
+    orphan_kernel = KittenKernel(
+        eng, node, [node.core(10)], FrameAllocator(rng.start_pfn, 1024), name="orphan"
+    )
+    system.add_enclave(Enclave(orphan_kernel))
+    system.designate_name_server(linux)
+    with pytest.raises(DiscoveryError, match="cannot reach"):
+        system.validate_connected()
+
+
+def test_discovery_takes_simulated_time(basic):
+    # IPIs and channel hops cost time: the clock must have advanced
+    assert basic["engine"].now > 0

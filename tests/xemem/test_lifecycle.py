@@ -1,0 +1,211 @@
+"""Dynamic partitioning: enclave hot-add, departure, failure injection.
+
+The paper's §3.2 expects a node's partitions to be dynamic ("will change
+in response to the node's workload characteristics"); these tests cover
+the departure/arrival half the paper leaves as architecture vision.
+"""
+
+import pytest
+
+from repro.enclave.enclave import ChannelClosedError
+from repro.enclave.topology import DiscoveryError
+from repro.hw.costs import MB, PAGE_4K
+from repro.pisces import PartitionError
+from repro.xemem import XememError, XememModule, XpmemApi
+
+from tests.xemem.conftest import build_system
+
+
+def test_hot_add_cokernel_discovers_and_attaches():
+    rig = build_system(num_cokernels=1)
+    eng, system, pisces = rig["engine"], rig["system"], rig["pisces"]
+    late = pisces.boot_cokernel(core_ids=[15], mem_bytes=256 * MB, zone_id=1,
+                                name="late")
+    XememModule(late)
+    new_id = system.add_and_discover(late)
+    assert late.enclave_id == new_id
+    assert new_id not in (e.enclave_id for e in system.enclaves if e is not late)
+    # and it is immediately usable
+    kp = late.kernel.create_process("exp")
+    lp = rig["linux"].kernel.create_process("att", core_id=3)
+    heap = late.kernel.heap_region(kp)
+
+    def run():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(heap.start, 16 * PAGE_4K)
+        apid = yield from api_l.xpmem_get(segid)
+        att = yield from api_l.xpmem_attach(apid)
+        api_k.segment(segid).view().write(0, b"late")
+        return att.read(0, 4)
+
+    assert eng.run_process(run()) == b"late"
+
+
+def test_hot_add_requires_module_and_channel():
+    rig = build_system(num_cokernels=1)
+    system, pisces = rig["system"], rig["pisces"]
+    late = pisces.boot_cokernel(core_ids=[15], mem_bytes=256 * MB, zone_id=1)
+    with pytest.raises(DiscoveryError, match="no XEMEM module"):
+        system.add_and_discover(late)
+
+
+def test_shutdown_retires_segids_at_name_server():
+    rig = build_system(num_cokernels=2)
+    eng, system = rig["engine"], rig["system"]
+    kitten = rig["cokernels"][0]
+    kp = kitten.kernel.create_process("exp")
+    heap = kitten.kernel.heap_region(kp)
+    ns = rig["linux"].module.nameserver
+
+    def export():
+        api = XpmemApi(kp)
+        s1 = yield from api.xpmem_make(heap.start, 4 * PAGE_4K, name="doomed")
+        s2 = yield from api.xpmem_make(heap.start + 16 * PAGE_4K, 4 * PAGE_4K)
+        return s1, s2
+
+    s1, _s2 = eng.run_process(export())
+    live_before = ns.live_segments
+    system.shutdown_enclave(kitten)
+    assert ns.live_segments == live_before - 2
+    assert ns.lookup_name("doomed") is None
+    assert kitten not in system.enclaves
+    # routing entries purged at the name server
+    assert kitten.enclave_id not in rig["linux"].module.routing.routes
+
+    # a get on the dead enclave's segid now errors cleanly
+    lp = rig["linux"].kernel.create_process("att", core_id=2)
+
+    def try_get():
+        api = XpmemApi(lp)
+        with pytest.raises(XememError, match="unknown segid"):
+            yield from api.xpmem_get(s1)
+        return True
+
+    assert eng.run_process(try_get())
+
+
+def test_shutdown_refused_with_outstanding_grants():
+    rig = build_system(num_cokernels=1)
+    eng, system = rig["engine"], rig["system"]
+    kitten = rig["cokernels"][0]
+    kp = kitten.kernel.create_process("exp")
+    lp = rig["linux"].kernel.create_process("att", core_id=2)
+    heap = kitten.kernel.heap_region(kp)
+
+    def setup():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(heap.start, 4 * PAGE_4K)
+        apid = yield from api_l.xpmem_get(segid)
+        return api_l, apid
+
+    api_l, apid = eng.run_process(setup())
+    with pytest.raises(XememError, match="outstanding grant"):
+        system.shutdown_enclave(kitten)
+
+    # releasing the grant unblocks departure
+    def release():
+        yield from api_l.xpmem_release(apid)
+
+    eng.run_process(release())
+    system.shutdown_enclave(kitten)
+    assert kitten not in system.enclaves
+
+
+def test_forced_shutdown_overrides_grants():
+    rig = build_system(num_cokernels=1)
+    eng, system = rig["engine"], rig["system"]
+    kitten = rig["cokernels"][0]
+    kp = kitten.kernel.create_process("exp")
+    lp = rig["linux"].kernel.create_process("att", core_id=2)
+    heap = kitten.kernel.heap_region(kp)
+
+    def setup():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(heap.start, 4 * PAGE_4K)
+        apid = yield from api_l.xpmem_get(segid)
+        att = yield from api_l.xpmem_attach(apid)
+        return att
+
+    att = eng.run_process(setup())
+    system.shutdown_enclave(kitten, force=True)
+    # the dangling attachment still reads the frames (they are not
+    # reused until Pisces reclaims the partition)
+    assert att.read(0, 1) is not None
+
+
+def test_name_server_cannot_depart():
+    rig = build_system(num_cokernels=1)
+    with pytest.raises(DiscoveryError, match="name-server"):
+        rig["system"].shutdown_enclave(rig["linux"])
+
+
+def test_transit_enclave_cannot_depart():
+    """A VM's host co-kernel is on the route to the VM: not a leaf."""
+    rig = build_system(num_cokernels=1, with_vm=True, vm_host="kitten")
+    with pytest.raises(DiscoveryError, match="not a leaf"):
+        rig["system"].shutdown_enclave(rig["cokernels"][0])
+    # the VM itself IS a leaf and can depart
+    rig["system"].shutdown_enclave(rig["vm"])
+    # after which the host co-kernel becomes a leaf too
+    rig["system"].shutdown_enclave(rig["cokernels"][0])
+
+
+def test_closed_channel_rejects_sends():
+    rig = build_system(num_cokernels=1)
+    eng = rig["engine"]
+    kitten = rig["cokernels"][0]
+    channel = kitten.module.routing.ns_channel
+    rig["system"].shutdown_enclave(kitten)
+    assert channel.closed
+
+    def send():
+        from repro.xemem import commands as C
+
+        yield from channel.send(
+            rig["linux"], C.make_command(C.LOOKUP_NAME, 0, 1, req_id="x", name="n")
+        )
+
+    with pytest.raises(ChannelClosedError):
+        eng.run_process(send())
+
+
+def test_pisces_reclaims_partition_after_departure():
+    rig = build_system(num_cokernels=1)
+    system, pisces, node = rig["system"], rig["pisces"], rig["node"]
+    kitten = rig["cokernels"][0]
+    kernel = kitten.kernel
+    zone_free_before_boot = None  # partition already carved at build time
+    proc = kernel.create_process("app")
+    # cannot reclaim while a process holds frames
+    system.shutdown_enclave(kitten)
+    with pytest.raises(PartitionError, match="still holds"):
+        pisces.teardown_cokernel(kitten)
+    kernel.destroy_process(proc)
+    assert kernel.allocator.used_frames == 0
+    free_before = node.memory.zone(1).allocator.free_frames
+    pisces.teardown_cokernel(kitten)
+    assert node.memory.zone(1).allocator.free_frames > free_before
+    assert all(core.owner is None for core in kernel.cores)
+
+
+def test_destroy_process_keeps_foreign_frames():
+    rig = build_system(num_cokernels=1)
+    eng = rig["engine"]
+    kitten = rig["cokernels"][0].kernel
+    linux = rig["linux"].kernel
+    kp = kitten.create_process("exp")
+    lp = linux.create_process("att", core_id=2)
+    heap = kitten.heap_region(kp)
+    kitten_used_before = kitten.allocator.used_frames
+
+    def run():
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+        segid = yield from api_k.xpmem_make(heap.start, 8 * PAGE_4K)
+        apid = yield from api_l.xpmem_get(segid)
+        att = yield from api_l.xpmem_attach(apid)
+        return att
+
+    eng.run_process(run())
+    # destroying the Linux attacher must not free the Kitten's frames
+    linux.destroy_process(lp)
+    assert kitten.allocator.used_frames == kitten_used_before

@@ -1,0 +1,174 @@
+"""Stateful property test: dynamic partitioning under random operation.
+
+Hypothesis interleaves enclave hot-adds, departures, exports, and
+cross-enclave attach/detach cycles, checking after every step that the
+name server's view, the routing tables, and the live mappings stay
+consistent. This is the §3.2 "dynamic partitions" vision under stress.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.hw.costs import MB, PAGE_4K
+from repro.xemem import XememModule, XpmemApi
+
+from tests.xemem.conftest import build_system
+
+MAX_DYNAMIC = 3  # hot-addable enclaves (cores 15, 16, 17)
+
+
+class LifecycleMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.rig = build_system(num_cokernels=1)
+        self.eng = self.rig["engine"]
+        self.system = self.rig["system"]
+        self.pisces = self.rig["pisces"]
+        self.linux = self.rig["linux"]
+        self.ns = self.linux.module.nameserver
+        self.ns_base = self.ns.live_segments
+        # model: name -> {"enclave", "proc", "api", "exports": {segid: grants}}
+        self.live = {}
+        self.added = 0
+        self._attach_seq = 0
+        # attachments: key -> (api, attachment, owner_name, apid)
+        self.attachments = {}
+        self._register("kitten0", self.rig["cokernels"][0])
+
+    def _register(self, name, enclave):
+        proc = enclave.kernel.create_process(f"{name}-app")
+        self.live[name] = {
+            "enclave": enclave,
+            "proc": proc,
+            "api": XpmemApi(proc),
+            "exports": {},
+            "slot": 0,
+        }
+
+    def _run(self, gen):
+        return self.eng.run_process(gen)
+
+    # ------------------------------------------------------------------ rules
+
+    @precondition(lambda self: self.added < MAX_DYNAMIC)
+    @rule()
+    def hot_add(self):
+        name = f"late{self.added}"
+        enclave = self.pisces.boot_cokernel(
+            core_ids=[15 + self.added], mem_bytes=64 * MB, zone_id=1, name=name
+        )
+        XememModule(enclave)
+        self.system.add_and_discover(enclave)
+        self.added += 1
+        self._register(name, enclave)
+
+    @precondition(lambda self: bool(self.live))
+    @rule(data=st.data())
+    def export(self, data):
+        name = data.draw(st.sampled_from(sorted(self.live)))
+        cell = self.live[name]
+        if cell["slot"] >= 40:
+            return
+        heap = cell["enclave"].kernel.heap_region(cell["proc"])
+        vaddr = heap.start + cell["slot"] * 4 * PAGE_4K
+        cell["slot"] += 1
+        segid = self._run(cell["api"].xpmem_make(vaddr, 4 * PAGE_4K))
+        cell["exports"][segid] = 0
+
+    @precondition(lambda self: any(c["exports"] for c in self.live.values()))
+    @rule(data=st.data())
+    def attach_from_linux(self, data):
+        owner_name = data.draw(st.sampled_from(
+            sorted(n for n, c in self.live.items() if c["exports"])
+        ))
+        cell = self.live[owner_name]
+        segid = data.draw(st.sampled_from(sorted(cell["exports"], key=int)))
+        self._attach_seq += 1
+        proc = self.linux.kernel.create_process(
+            f"att{self._attach_seq}", core_id=1 + (self._attach_seq % 7)
+        )
+        api = XpmemApi(proc)
+
+        def run():
+            apid = yield from api.xpmem_get(segid)
+            att = yield from api.xpmem_attach(apid)
+            return apid, att
+
+        apid, att = self._run(run())
+        cell["exports"][segid] += 1
+        self.attachments[self._attach_seq] = (api, att, owner_name, apid, segid)
+
+    @precondition(lambda self: bool(self.attachments))
+    @rule(data=st.data())
+    def detach_and_release(self, data):
+        key = data.draw(st.sampled_from(sorted(self.attachments)))
+        api, att, owner_name, apid, segid = self.attachments.pop(key)
+
+        def run():
+            yield from api.xpmem_detach(att)
+            yield from api.xpmem_release(apid)
+
+        self._run(run())
+        cell = self.live.get(owner_name)
+        if cell is not None and segid in cell["exports"]:
+            cell["exports"][segid] -= 1
+
+    @precondition(lambda self: len(self.live) >= 2 and any(
+        not any(owner == n for _a, _t, owner, _ap, _s in self.attachments.values())
+        for n in self.live
+    ))
+    @rule(data=st.data())
+    def depart(self, data):
+        # only enclaves with no live inbound attachments may leave safely
+        # (and at least one co-kernel always stays, so the machine never
+        # reaches a dead state)
+        candidates = sorted(
+            n for n in self.live
+            if not any(owner == n for _a, _t, owner, _ap, _s in self.attachments.values())
+        )
+        if len(candidates) == len(self.live):
+            candidates = candidates[:-1] or candidates
+        name = data.draw(st.sampled_from(candidates))
+        cell = self.live.pop(name)
+        # grants without attachments still block departure; force is the
+        # documented escape hatch and keeps the state machine simple
+        self.system.shutdown_enclave(cell["enclave"], force=True)
+
+    # -------------------------------------------------------------- invariants
+
+    @invariant()
+    def ns_counts_match_model(self):
+        if not hasattr(self, "ns"):
+            return
+        expected = sum(len(c["exports"]) for c in self.live.values())
+        assert self.ns.live_segments - self.ns_base == expected
+
+    @invariant()
+    def routes_only_to_live_enclaves(self):
+        if not hasattr(self, "ns"):
+            return
+        live_ids = {c["enclave"].enclave_id for c in self.live.values()}
+        live_ids.add(0)
+        for dst in self.linux.module.routing.routes:
+            assert dst in live_ids
+
+    @invariant()
+    def live_attachments_still_read(self):
+        if not hasattr(self, "ns"):
+            return
+        for _api, att, owner, _apid, _segid in self.attachments.values():
+            assert att.read(0, 1) is not None
+
+
+TestLifecycle = LifecycleMachine.TestCase
+TestLifecycle.settings = settings(
+    max_examples=10, stateful_step_count=20, deadline=None
+)

@@ -1,0 +1,173 @@
+"""Integration tests: attachments crossing the Palacios VM boundary."""
+
+import numpy as np
+import pytest
+
+from repro.hw.costs import MB, PAGE_4K
+from repro.xemem import XpmemApi
+
+from tests.xemem.conftest import build_system
+
+
+def test_guest_attaches_to_kitten_export(with_vm_on_linux):
+    """Fig. 4(a) end to end: Kitten exports, the Linux VM guest attaches."""
+    rig = with_vm_on_linux
+    eng = rig["engine"]
+    kitten = rig["cokernels"][0].kernel
+    guest = rig["vm"].kernel
+    vmm = guest.vmm
+    kp = kitten.create_process("sim")
+    gp = guest.create_process("analytics")
+    heap = kitten.heap_region(kp)
+    entries_before = vmm.memmap.num_entries
+
+    def run():
+        api_k, api_g = XpmemApi(kp), XpmemApi(gp)
+        segid = yield from api_k.xpmem_make(heap.start, 1 * MB)
+        apid = yield from api_g.xpmem_get(segid)
+        att = yield from api_g.xpmem_attach(apid)
+        # zero-copy across the VM boundary
+        api_k.segment(segid).view().write(0, b"host to guest")
+        got = att.read(0, 13)
+        att.write(50, b"guest to host")
+        back = api_k.segment(segid).view().read(50, 13)
+        return att, got, back
+
+    att, got, back = eng.run_process(run())
+    assert got == b"host to guest"
+    assert back == b"guest to host"
+    # local pfns are guest-physical, above VM RAM
+    assert int(att.local_pfns[0]) >= vmm.ram_frames
+    # the memory map grew (Kitten heap frames are contiguous, so few entries)
+    assert vmm.memmap.num_entries > entries_before
+    assert len(vmm.insert_work_log) == 1
+
+
+def test_guest_detach_shrinks_memory_map(with_vm_on_linux):
+    rig = with_vm_on_linux
+    eng = rig["engine"]
+    kitten = rig["cokernels"][0].kernel
+    guest = rig["vm"].kernel
+    vmm = guest.vmm
+    kp = kitten.create_process("sim")
+    gp = guest.create_process("analytics")
+    heap = kitten.heap_region(kp)
+    entries_before = vmm.memmap.num_entries
+
+    def run():
+        api_k, api_g = XpmemApi(kp), XpmemApi(gp)
+        segid = yield from api_k.xpmem_make(heap.start, 64 * PAGE_4K)
+        apid = yield from api_g.xpmem_get(segid)
+        att = yield from api_g.xpmem_attach(apid)
+        yield from api_g.xpmem_detach(att)
+        return att
+
+    att = eng.run_process(run())
+    assert vmm.memmap.num_entries == entries_before
+    assert gp.aspace.find_region(att.vaddr) is None
+
+
+def test_kitten_attaches_to_guest_export(with_vm_on_linux):
+    """Fig. 4(b) end to end: VM guest exports, native Kitten attaches."""
+    rig = with_vm_on_linux
+    eng = rig["engine"]
+    kitten = rig["cokernels"][0].kernel
+    guest = rig["vm"].kernel
+    kp = kitten.create_process("att")
+    gp = guest.create_process("exp")
+
+    def run():
+        region = yield from guest.mmap_anonymous(gp, 1 * MB)
+        yield from guest.touch_pages(gp, region.start, region.npages)
+        api_g, api_k = XpmemApi(gp), XpmemApi(kp)
+        segid = yield from api_g.xpmem_make(region.start, 1 * MB)
+        apid = yield from api_k.xpmem_get(segid)
+        att = yield from api_k.xpmem_attach(apid)
+        api_g.segment(segid).view().write(0, b"vm data")
+        got = att.read(0, 7)
+        # the kitten's mapping references host frames owned by the VM's
+        # host enclave (Linux), translated out of guest-physical space
+        pfns = kp.aspace.table.translate_range(att.vaddr, 4)
+        assert all(rig["linux"].kernel.owns_pfn(int(p)) for p in pfns)
+        return got
+
+    assert eng.run_process(run()) == b"vm data"
+
+
+def test_vm_on_kitten_host_full_path(with_vm_on_kitten):
+    """VM on an isolated Kitten co-kernel host (Table 3 row 4): attach
+    traffic crosses both the Pisces and the Palacios channels."""
+    rig = with_vm_on_kitten
+    eng = rig["engine"]
+    kitten = rig["cokernels"][0].kernel
+    guest = rig["vm"].kernel
+    linux = rig["linux"].kernel
+    lp = linux.create_process("exporter", core_id=1)
+    gp = guest.create_process("attacher")
+
+    def run():
+        region = yield from linux.mmap_anonymous(lp, 256 * PAGE_4K)
+        api_l, api_g = XpmemApi(lp), XpmemApi(gp)
+        segid = yield from api_l.xpmem_make(region.start, 256 * PAGE_4K)
+        apid = yield from api_g.xpmem_get(segid)
+        att = yield from api_g.xpmem_attach(apid)
+        api_l.segment(segid).view().write(1234, b"two hops")
+        return att.read(1234, 8)
+
+    assert eng.run_process(run()) == b"two hops"
+
+
+def test_guest_to_guest_data_integrity_checksum(with_vm_on_linux):
+    """Bulk pattern integrity through the VM boundary."""
+    rig = with_vm_on_linux
+    eng = rig["engine"]
+    kitten = rig["cokernels"][0].kernel
+    guest = rig["vm"].kernel
+    kp = kitten.create_process("sim")
+    gp = guest.create_process("analytics")
+    heap = kitten.heap_region(kp)
+
+    def run():
+        api_k, api_g = XpmemApi(kp), XpmemApi(gp)
+        segid = yield from api_k.xpmem_make(heap.start, 128 * PAGE_4K)
+        apid = yield from api_g.xpmem_get(segid)
+        att = yield from api_g.xpmem_attach(apid)
+        return api_k.segment(segid).view(), att
+
+    exp_view, att = eng.run_process(run())
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 256, size=128 * PAGE_4K, dtype=np.uint8).tobytes()
+    exp_view.write(0, data)
+    assert att.view.checksum() == exp_view.checksum()
+    assert att.read(0, len(data)) == data
+
+
+def test_guest_attach_records_rb_tree_work(with_vm_on_linux):
+    """Scattered host frames inflate the guest memory map (Table 2)."""
+    rig = with_vm_on_linux
+    eng = rig["engine"]
+    linux = rig["linux"].kernel
+    guest = rig["vm"].kernel
+    vmm = guest.vmm
+    lp = linux.create_process("exp", core_id=1)
+    gp = guest.create_process("att")
+    entries_before = vmm.memmap.num_entries
+
+    def run():
+        # export a *scattered* Linux region: fragment the allocator first
+        pfns = linux.alloc_pfns(256, scattered=True)
+        region_va = lp.aspace.find_free(256)
+        from repro.kernels.addrspace import RegionKind
+
+        region = lp.aspace.add_region(region_va, 256, RegionKind.EAGER, "frag")
+        lp.aspace.map_region_pfns(region, pfns)
+        api_l, api_g = XpmemApi(lp), XpmemApi(gp)
+        segid = yield from api_l.xpmem_make(region_va, 256 * PAGE_4K)
+        apid = yield from api_g.xpmem_get(segid)
+        att = yield from api_g.xpmem_attach(apid)
+        return att
+
+    eng.run_process(run())
+    # one memory-map entry per scattered host frame
+    assert vmm.memmap.num_entries == entries_before + 256
+    assert vmm.insert_work_log[-1] > 0
