@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test lint bench figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	ruff check src tests
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

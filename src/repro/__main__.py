@@ -11,17 +11,32 @@ Usage::
     python -m repro fig9 [--runs 3]
     python -m repro ablations [--reps 3]
     python -m repro all
+    python -m repro inspect trace.json
 
 Each command builds the experiment from scratch, runs it on the virtual
 clock, and prints the same rows/series the paper reports.
+
+Every figure command also accepts the observability flags::
+
+    --trace out.json     record spans, write a Perfetto-loadable trace
+    --trace-format jsonl write JSONL instead of Chrome trace format
+    --metrics            print a metrics snapshot after the figures
+    --metrics-out m.json write the metrics snapshot to a file
+    --profile            print the simulator's wallclock hot-path profile
+
+All recording is against the virtual clock (traces and metrics are
+byte-identical between identical runs); only ``--profile`` reads host
+time, and its output never enters the trace or metrics files.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro import obs
 from repro.bench import figures
 from repro.bench.report import render_series, render_table
 from repro.hw.costs import MB
@@ -168,6 +183,104 @@ def _explain(args) -> str:
     return "\n\n".join(parts)
 
 
+def _load_trace(path: str) -> list:
+    """Read span records from a Chrome-trace or JSONL export.
+
+    Returns a list of dicts with ``name``/``track``/``dur_ns`` keys,
+    regardless of which format the file is in.
+    """
+    with open(path) as fp:
+        text = fp.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):  # Chrome trace format
+        events = doc.get("traceEvents", [])
+        threads = {
+            ev.get("tid"): ev.get("args", {}).get("name")
+            for ev in events
+            if ev.get("ph") == "M" and ev.get("name") == "thread_name"
+        }
+        return [
+            {
+                "name": ev["name"],
+                "track": threads.get(ev.get("tid"), str(ev.get("tid"))),
+                "dur_ns": int(round(ev.get("dur", 0) * 1000)),
+            }
+            for ev in events
+            if ev.get("ph") == "X"
+        ]
+    spans = [json.loads(line) for line in text.splitlines() if line.strip()]
+    for s in spans:  # JSONL records carry start/end, not a duration
+        if "dur_ns" not in s and s.get("end_ns") is not None:
+            s["dur_ns"] = s["end_ns"] - s.get("start_ns", 0)
+    return spans
+
+
+def _inspect(args) -> str:
+    """Summarize a trace export: spans per name and per track."""
+    if not args.target:
+        raise SystemExit("usage: python -m repro inspect <trace.json>")
+    try:
+        spans = _load_trace(args.target)
+    except OSError as exc:
+        raise SystemExit(f"inspect: cannot read {args.target}: {exc.strerror}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"inspect: {args.target} is not a Chrome-trace or JSONL export ({exc})"
+        )
+    if not spans:
+        return f"{args.target}: no spans recorded"
+
+    by_name: dict = {}
+    for s in spans:
+        agg = by_name.setdefault(s["name"], [0, 0, 0])
+        agg[0] += 1
+        dur = s.get("dur_ns") or 0
+        agg[1] += dur
+        agg[2] = max(agg[2], dur)
+    name_rows = [
+        (name, n, f"{total / 1e6:.3f}", f"{total / n / 1e3:.1f}", f"{mx / 1e3:.1f}")
+        for name, (n, total, mx) in sorted(
+            by_name.items(), key=lambda kv: -kv[1][1]
+        )
+    ]
+    part1 = render_table(
+        ["span", "count", "total ms", "mean us", "max us"],
+        name_rows,
+        title=f"{args.target}: {len(spans)} spans, {len(by_name)} names",
+    )
+
+    by_track: dict = {}
+    for s in spans:
+        agg = by_track.setdefault(s.get("track", "main"), [0, 0])
+        agg[0] += 1
+        agg[1] += s.get("dur_ns") or 0
+    track_rows = [
+        (track, n, f"{total / 1e6:.3f}")
+        for track, (n, total) in sorted(by_track.items(), key=lambda kv: -kv[1][1])
+    ]
+    part2 = render_table(["track", "spans", "total ms"], track_rows,
+                         title="per track (virtual time):")
+    return part1 + "\n\n" + part2
+
+
+def _render_profile(engine_obs) -> str:
+    """Format the wallclock hot-path profile (``--profile``)."""
+    rows = [
+        (site, calls, f"{secs:.3f}", f"{eps:,.0f}" if secs > 0 else "-")
+        for site, calls, secs, eps in engine_obs.hot_sites(top=15)
+    ]
+    if not rows:
+        return "profile: no callback sites recorded"
+    return render_table(
+        ["callback site", "events", "host s", "events/s"],
+        rows,
+        title=f"hot path ({engine_obs.events_executed} events executed):",
+    )
+
+
 COMMANDS = {
     "explain": _explain,
     "fig5": _fig5,
@@ -186,26 +299,92 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Regenerate the XEMEM paper's evaluation figures.",
     )
-    parser.add_argument("command", choices=sorted(COMMANDS) + ["all", "list"])
+    parser.add_argument("command",
+                        choices=sorted(COMMANDS) + ["all", "inspect", "list"])
+    parser.add_argument("target", nargs="?",
+                        help="trace file for the 'inspect' command")
     parser.add_argument("--reps", type=int, default=5,
                         help="attachments per measurement (paper: 500)")
     parser.add_argument("--runs", type=int, default=3,
                         help="seeded runs per fig8/fig9 cell (paper: 10/5)")
     parser.add_argument("--seconds", type=int, default=10,
                         help="fig7 measurement window")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record spans and write a Chrome/Perfetto trace")
+    parser.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                        default="chrome",
+                        help="trace export format (default: chrome)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a metrics snapshot after the figures")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write the metrics snapshot to PATH as JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the host-wallclock hot-path profile")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for name in sorted(COMMANDS):
             print(name, "-", COMMANDS[name].__doc__ or "")
         return 0
+    if args.command == "inspect":
+        print(_inspect(args))
+        return 0
 
+    want_metrics = args.metrics or bool(args.metrics_out)
+    want_obs = bool(args.trace) or want_metrics or args.profile
     names = sorted(COMMANDS) if args.command == "all" else [args.command]
-    for name in names:
-        t0 = time.time()
-        print(COMMANDS[name](args))
-        print(f"[{name} regenerated in {time.time() - t0:.1f}s wall]\n")
+
+    # Fail fast on unwritable export paths, not after the whole run.
+    for path in (args.trace, args.metrics_out):
+        if path:
+            try:
+                open(path, "w").close()
+            except OSError as exc:
+                raise SystemExit(f"cannot write {path}: {exc.strerror}")
+
+    with obs.observing(
+        trace=bool(args.trace),
+        metrics=want_metrics,
+        engine=want_obs,
+        profile=args.profile,
+    ) if want_obs else _null_obs() as ctx:
+        for name in names:
+            t0 = time.time()
+            print(COMMANDS[name](args))
+            print(f"[{name} regenerated in {time.time() - t0:.1f}s wall]\n")
+
+        if args.trace:
+            with open(args.trace, "w") as fp:
+                if args.trace_format == "jsonl":
+                    ctx.tracer.to_jsonl(fp)
+                else:
+                    ctx.tracer.to_chrome(fp)
+            print(f"[trace: {len(ctx.tracer)} spans -> {args.trace}"
+                  + (f", {ctx.tracer.dropped} dropped]" if ctx.tracer.dropped
+                     else "]"))
+        if want_metrics:
+            snap = ctx.snapshot()
+            text = json.dumps(snap, sort_keys=True, indent=2)
+            if args.metrics_out:
+                with open(args.metrics_out, "w") as fp:
+                    fp.write(text + "\n")
+                print(f"[metrics: {len(snap)} series -> {args.metrics_out}]")
+            if args.metrics:
+                print(f"== metrics ({len(snap)} series) ==")
+                print(text)
+        if args.profile and ctx.engine_obs is not None:
+            print(_render_profile(ctx.engine_obs))
     return 0
+
+
+class _null_obs:
+    """Flags-off path: no ObsContext is installed at all."""
+
+    def __enter__(self):
+        return obs.get()
+
+    def __exit__(self, *exc):
+        return False
 
 
 if __name__ == "__main__":

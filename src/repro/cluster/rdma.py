@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.hw.costs import CostModel, gib_per_s
 from repro.hw.nic import InfinibandNic
 from repro.sim.engine import Engine
@@ -42,7 +43,11 @@ class RdmaBandwidthTest:
         if repetitions < 1:
             raise ValueError("need at least one repetition")
         vf = self.nic.vf(0)
+        o = obs.get()
         t0 = self.engine.now
-        for _ in range(repetitions):
-            yield from vf.rdma_write(transfer_bytes)
+        with o.span("cluster.rdma.bw_test", self.engine, track="nic",
+                    nbytes=transfer_bytes, reps=repetitions):
+            for _ in range(repetitions):
+                yield from vf.rdma_write(transfer_bytes)
+        o.counter("cluster.rdma.tests").inc()
         return RdmaResult(transfer_bytes, repetitions, self.engine.now - t0)

@@ -19,6 +19,8 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import obs
+
 
 @dataclass
 class KernelMessage:
@@ -125,6 +127,10 @@ class Channel:
         msg = yield from self._transfer(src, dst, msg)
         self.messages_sent += 1
         self.pfns_carried += msg.npfns
+        o = obs.get()
+        o.counter("channel.msgs").inc()
+        if msg.npfns:
+            o.counter("channel.pfns").inc(msg.npfns)
         if self.system is not None and self.system.trace.enabled:
             self.system.trace.record(
                 src.engine.now,

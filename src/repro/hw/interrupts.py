@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from repro import obs
 from repro.sim.engine import Engine
 
 
@@ -84,6 +85,10 @@ class InterruptController:
             core.resource.release()
             core.log_steal(start, self.engine.now - start, f"irq:{vec.vector}")
         self.delivered += 1
+        o = obs.get()
+        o.counter("hw.ipi.delivered").inc()
+        o.counter(f"hw.ipi.core{vec.core_id}.delivered").inc()
+        o.histogram("hw.ipi.handler_ns").observe(self.engine.now - start)
         return result
 
     def post_ipi(self, vec: IpiVector, payload: Optional[object] = None):

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs
 from repro.hw.costs import CostModel
 from repro.sim.engine import Engine
 from repro.sim.resources import Resource
@@ -38,14 +39,19 @@ class VirtualFunction:
         mtu = mtu or self.nic.recommended_mtu
         nsegs = -(-nbytes // mtu)
         self.ops_posted += 1
-        yield self.nic.engine.sleep(self.nic.costs.rdma_post_ns)
-        # The link is serial: concurrent VFs queue.
-        yield self.nic.link.acquire()
-        try:
-            wire_ns = int(nbytes * 1e9 / self.nic.costs.rdma_bw_bytes_per_s)
-            yield self.nic.engine.sleep(wire_ns)
-        finally:
-            self.nic.link.release()
+        o = obs.get()
+        with o.span("nic.rdma.write", self.nic.engine, track="nic",
+                    vf=self.vf_id, nbytes=nbytes, nsegs=nsegs):
+            yield self.nic.engine.sleep(self.nic.costs.rdma_post_ns)
+            # The link is serial: concurrent VFs queue.
+            yield self.nic.link.acquire()
+            try:
+                wire_ns = int(nbytes * 1e9 / self.nic.costs.rdma_bw_bytes_per_s)
+                yield self.nic.engine.sleep(wire_ns)
+            finally:
+                self.nic.link.release()
+        o.counter("nic.rdma.msgs").inc()
+        o.counter("nic.rdma.bytes").inc(nbytes)
         self.bytes_sent += nbytes
         self.nic.bytes_on_wire += nbytes
         return nsegs

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.hw.costs import CostModel
 from repro.hw.memory import FrameAllocator, PhysicalMemory, ranges_to_pfns, pfns_to_ranges
 from repro.hw.topology import Core, NodeHardware
@@ -151,7 +152,12 @@ class KernelBase:
         self._own_process(proc)
         core = core or self.service_core
         walk_ns = npages * self.costs.walk_per_page_ns
-        yield from core.occupy(walk_ns, f"xemem-walk:{npages}p")
+        o = obs.get()
+        with o.span("kernel.pagetable.walk", self.engine, track=self.name,
+                    npages=npages, core=core.core_id):
+            yield from core.occupy(walk_ns, f"xemem-walk:{npages}p")
+        o.counter(f"{self.kernel_type}.pagetable.walks").inc()
+        o.counter(f"{self.kernel_type}.pagetable.pages_walked").inc(npages)
         return proc.aspace.table.translate_range(vaddr, npages)
 
     def map_remote_pfns(self, proc: OSProcess, pfns: np.ndarray, name: str = "xemem-att",
@@ -165,7 +171,11 @@ class KernelBase:
         region, vaddr = self._place_attachment(proc, len(pfns), name)
         core = core or self.service_core
         install_ns = len(pfns) * (self.costs.map_install_per_page_ns + extra_per_page_ns)
-        yield from core.occupy(install_ns, f"xemem-map:{len(pfns)}p")
+        o = obs.get()
+        with o.span("kernel.map_remote", self.engine, track=self.name,
+                    npages=len(pfns), core=core.core_id):
+            yield from core.occupy(install_ns, f"xemem-map:{len(pfns)}p")
+        o.counter(f"{self.kernel_type}.map.pages_installed").inc(len(pfns))
         proc.aspace.map_region_pfns(region, pfns)
         return region
 

@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.hw.topology import Core
 from repro.kernels.addrspace import Region, RegionKind
 from repro.kernels.base import KernelBase, KernelError
@@ -102,6 +103,7 @@ class KittenKernel(KernelBase):
         self._own_process(donor)
         slot = self.smartmap_slot(donor.pid)
         attacher.aspace.table.share_pml4_slot(slot, donor.aspace.table)
+        obs.get().counter("kitten.smartmap.attaches").inc()
         return slot * PML4_SLOT_SPAN
 
     def smartmap_detach(self, attacher: OSProcess, donor: OSProcess) -> None:
@@ -134,6 +136,7 @@ class KittenKernel(KernelBase):
             ) from err
         base = va_run.start_pfn * PAGE_SIZE
         region = proc.aspace.add_region(base, npages, RegionKind.EAGER, name)
+        obs.get().counter("kitten.heap.expansions").inc()
         return region
 
     def unmap_attachment(self, proc: OSProcess, region: Region):

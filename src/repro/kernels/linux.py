@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.hw.topology import Core
 from repro.kernels.addrspace import Region, RegionKind
 from repro.kernels.base import KernelBase, KernelError
@@ -73,6 +74,7 @@ class LinuxKernel(KernelBase):
             pfn = int(self.alloc_pfns(1)[0])
         proc.aspace.populate_page(region, vaddr & ~(PAGE_SIZE - 1), pfn)
         self.fault_count += 1
+        obs.get().counter("linux.pagefault.count").inc()
         return pfn
 
     def _bulk_fault(self, proc: OSProcess, region: Region, core: Optional[Core] = None):
@@ -94,6 +96,7 @@ class LinuxKernel(KernelBase):
             pfns = self.alloc_pfns(region.npages)
         proc.aspace.map_region_pfns(region, pfns)
         self.fault_count += region.npages
+        obs.get().counter("linux.pagefault.count").inc(region.npages)
         return region.npages
 
     def touch_pages(self, proc: OSProcess, vaddr: int, npages: int, write: bool = False):
@@ -160,6 +163,7 @@ class LinuxKernel(KernelBase):
         yield self.engine.sleep(npages * self.costs.linux_gup_pin_per_page_ns)
         table.set_flags_range(vaddr, npages, set_mask=PTE_PINNED)
         self.gup_pinned_pages += npages
+        obs.get().counter("linux.gup.pages").inc(npages)
         return table.translate_range(vaddr, npages)
 
     def walk_for_export(self, proc: OSProcess, vaddr: int, npages: int,
@@ -181,15 +185,21 @@ class LinuxKernel(KernelBase):
         processes do not serialize their installs, matching Linux.
         """
         self._own_process(proc)
-        yield self.map_lock.acquire()
-        try:
-            yield self.engine.sleep(self.costs.vm_mmap_fixed_ns)
-            region, _vaddr = self._place_attachment(proc, len(pfns), name)
-        finally:
-            self.map_lock.release()
-        core = core or self.service_core
-        install_ns = len(pfns) * (self.costs.map_install_per_page_ns + extra_per_page_ns)
-        yield from core.occupy(install_ns, f"remap_pfn_range:{len(pfns)}p")
+        o = obs.get()
+        with o.span("linux.map_remote", self.engine, track=self.name,
+                    npages=len(pfns)):
+            yield self.map_lock.acquire()
+            try:
+                yield self.engine.sleep(self.costs.vm_mmap_fixed_ns)
+                region, _vaddr = self._place_attachment(proc, len(pfns), name)
+            finally:
+                self.map_lock.release()
+            core = core or self.service_core
+            install_ns = len(pfns) * (
+                self.costs.map_install_per_page_ns + extra_per_page_ns
+            )
+            yield from core.occupy(install_ns, f"remap_pfn_range:{len(pfns)}p")
+        o.counter("linux.map.pages_installed").inc(len(pfns))
         proc.aspace.map_region_pfns(region, pfns)
         return region
 

@@ -224,6 +224,9 @@ class PageTable:
     def translate_range(self, vaddr: int, npages: int) -> np.ndarray:
         """PFNs for ``npages`` starting at ``vaddr`` — the page-table *walk*
         XEMEM uses to build PFN lists. Raises on any hole."""
+        from repro import obs
+
+        obs.get().counter("pagetable.translate.pages").inc(npages)
         out = np.empty(npages, dtype=np.int64)
         for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
             if leaf is None:

@@ -1,0 +1,49 @@
+"""Observability for the simulator: span tracing, metrics, engine hooks.
+
+Three pieces, all default-off and zero-cost when disabled:
+
+* :mod:`repro.obs.tracer` — nestable spans on the virtual clock,
+  exportable as Chrome/Perfetto ``trace.json`` or JSONL;
+* :mod:`repro.obs.metrics` — hierarchically named counters, gauges, and
+  fixed-bucket histograms, snapshotable to a dict/JSON;
+* :mod:`repro.obs.engine_hooks` — an engine sink counting executed
+  events, sampling queue depth, accounting process virtual runtimes,
+  and (optionally) profiling simulator hot paths by host wallclock.
+
+Usage from instrumentation sites::
+
+    from repro import obs
+
+    o = obs.get()
+    with o.span("xemem.attach", self.engine, track=self.enclave.name):
+        ...
+    o.counter("xemem.attach.count").inc()
+
+Usage from drivers (the CLI does exactly this)::
+
+    with obs.observing(trace=True, metrics=True) as ctx:
+        figures.fig5_throughput(reps=1)
+    ctx.tracer.to_chrome("trace.json")
+    print(ctx.metrics.to_json())
+"""
+
+from repro.obs.context import ObsContext, get, install, observing, reset
+from repro.obs.engine_hooks import EngineObserver
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import RingBuffer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "EngineObserver",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsContext",
+    "RingBuffer",
+    "Span",
+    "Tracer",
+    "get",
+    "install",
+    "observing",
+    "reset",
+]

@@ -1,0 +1,117 @@
+"""The process-wide observability context.
+
+Instrumentation sites all over the simulator (XEMEM modules, Pisces
+channels, kernels, the NIC) fetch the active context with
+:func:`repro.obs.get` and write spans/metrics through it. By default the
+context is **disabled**: spans return a shared null context manager,
+metrics return a shared null sink, and engines get no observer — the
+instrumented hot paths cost one attribute check, simulation behaviour
+and benchmark numbers are unchanged.
+
+The CLI (``python -m repro fig5 --trace out.json --metrics``) and tests
+enable observability by installing an enabled context, either directly
+with :func:`install` or scoped with the :func:`observing` context
+manager::
+
+    with obs.observing(trace=True, metrics=True) as ctx:
+        run_experiment()
+    ctx.tracer.to_chrome("trace.json")
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.obs.engine_hooks import EngineObserver
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.tracer import NULL_SPAN, Tracer
+
+
+class ObsContext:
+    """One tracer + one metrics registry + one optional engine observer."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 engine_obs: Optional[EngineObserver] = None):
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self.engine_obs = engine_obs
+
+    @property
+    def enabled(self) -> bool:
+        """True when any recording surface is live."""
+        return (
+            self.tracer.enabled or self.metrics.enabled or self.engine_obs is not None
+        )
+
+    # -- one-call instrumentation surface ------------------------------------
+
+    def span(self, name: str, engine, track: str = "main", **attrs):
+        """Span on the active tracer (null context manager when off)."""
+        if not self.tracer.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, engine, track=track, **attrs)
+
+    def counter(self, name: str):
+        """Counter in the active registry (null sink when off)."""
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        """Gauge in the active registry (null sink when off)."""
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS):
+        """Histogram in the active registry (null sink when off)."""
+        return self.metrics.histogram(name, bounds)
+
+    def snapshot(self) -> dict:
+        """Metrics snapshot, with the engine observer's stats folded in."""
+        if self.engine_obs is not None and self.metrics.enabled:
+            self.engine_obs.publish(self.metrics)
+        return self.metrics.snapshot()
+
+
+#: The default, all-off context active when nothing is installed.
+_DISABLED = ObsContext()
+_current: ObsContext = _DISABLED
+
+
+def get() -> ObsContext:
+    """The active observability context (disabled by default)."""
+    return _current
+
+
+def install(ctx: ObsContext) -> ObsContext:
+    """Make ``ctx`` the active context; returns the previous one."""
+    global _current
+    previous = _current
+    _current = ctx
+    return previous
+
+
+def reset() -> None:
+    """Restore the default disabled context."""
+    global _current
+    _current = _DISABLED
+
+
+@contextlib.contextmanager
+def observing(trace: bool = True, metrics: bool = True,
+              engine: bool = False, profile: bool = False,
+              max_trace_events: Optional[int] = None) -> Iterator[ObsContext]:
+    """Scoped enablement: install an enabled context, restore on exit.
+
+    The context object stays usable after exit (for export); only the
+    global registration is undone.
+    """
+    ctx = ObsContext(
+        tracer=Tracer(enabled=trace, max_events=max_trace_events),
+        metrics=MetricsRegistry(enabled=metrics),
+        engine_obs=EngineObserver(profile=profile) if (engine or profile) else None,
+    )
+    previous = install(ctx)
+    try:
+        yield ctx
+    finally:
+        install(previous)

@@ -1,0 +1,193 @@
+"""Named counters, gauges, and fixed-bucket histograms.
+
+Metric names are hierarchical dot paths (``xemem.make.count``,
+``pisces.channel.bytes``, ``nic.rdma.msgs``) so a snapshot groups
+naturally by subsystem. Instrumentation sites fetch metrics through the
+:class:`MetricsRegistry`; when the registry is disabled every accessor
+returns a shared null object, so disabled metrics cost one attribute
+check and allocate nothing.
+
+Histograms reuse :class:`repro.sim.record.SeriesStats` for the moment
+summary and add fixed upper-bound buckets (Prometheus-style cumulative
+counts are derivable from the per-bucket counts in the snapshot).
+
+Everything recorded here is derived from deterministic simulation state,
+so :meth:`MetricsRegistry.snapshot` is reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Dict, IO, List, Optional, Sequence, Union
+
+from repro.sim.record import SeriesStats
+
+#: Default histogram buckets (ns-oriented: 1 µs .. 100 ms, then +inf).
+DEFAULT_BUCKETS = (
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+)
+
+
+class Counter:
+    """Monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket distribution with a streaming moment summary."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "stats")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} bounds must be ascending")
+        self.name = name
+        self.bounds = tuple(bounds)
+        #: counts[i] observations fell in (bounds[i-1], bounds[i]];
+        #: counts[-1] is the +inf overflow bucket.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.stats = SeriesStats()
+
+    def observe(self, x: float) -> None:
+        """Fold one sample into the buckets and the moment summary."""
+        self.bucket_counts[bisect.bisect_left(self.bounds, x)] += 1
+        self.stats.add(x)
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self.stats.count
+
+
+class _NullMetric:
+    """Shared sink for all metric writes while the registry is disabled."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, x: float) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Hierarchically named metrics, snapshotable to a dict or JSON."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_METRIC
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_METRIC
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_METRIC
+        return self._get(name, Histogram, bounds)
+
+    # -- snapshot -------------------------------------------------------------
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Sorted metric names, optionally filtered by dot-path prefix."""
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Name-sorted dict of every metric's current value.
+
+        Counters and gauges map to their scalar value; histograms map to
+        ``{count, mean, min, max, stdev, buckets}`` where ``buckets``
+        maps each upper bound (and ``"+inf"``) to its bucket count.
+        """
+        out: Dict[str, object] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                buckets = {
+                    str(bound): count
+                    for bound, count in zip(metric.bounds, metric.bucket_counts)
+                }
+                buckets["+inf"] = metric.bucket_counts[-1]
+                summary = metric.stats.summary()
+                summary["buckets"] = buckets
+                out[name] = summary
+            else:
+                out[name] = metric.value
+        return out
+
+    def to_json(self, fp: Union[str, IO[str], None] = None) -> str:
+        """Serialize the snapshot deterministically; optionally write it."""
+        text = json.dumps(self.snapshot(), sort_keys=True, indent=2)
+        if isinstance(fp, str):
+            with open(fp, "w") as f:
+                f.write(text)
+        elif fp is not None:
+            fp.write(text)
+        return text
+
+    def clear(self) -> None:
+        """Drop every registered metric."""
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)

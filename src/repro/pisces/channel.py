@@ -22,6 +22,7 @@ Two behaviours the evaluation hinges on:
 
 from __future__ import annotations
 
+from repro import obs
 from repro.enclave.enclave import Channel, Enclave, KernelMessage
 from repro.hw.interrupts import IpiVector
 
@@ -85,10 +86,17 @@ class PiscesChannel(Channel):
             if self._multi_cokernel() and self.ipi_target_policy == "core0"
             else 0
         )
-        # Per-PFN marshalling through the shared region (source side).
-        yield engine.sleep(npfns * (costs.channel_per_pfn_ns + penalty))
-        # One IPI round per chunk; the handler occupies the target core.
         chunks = costs.pfn_list_chunks(npfns) if npfns else 1
-        for _ in range(chunks):
-            yield from self.node.intc.send_ipi(vec, costs.ipi_handler_core0_ns)
+        o = obs.get()
+        with o.span("pisces.transfer", engine, track=self.name,
+                    kind=msg.kind, npfns=npfns, chunks=chunks):
+            # Per-PFN marshalling through the shared region (source side).
+            yield engine.sleep(npfns * (costs.channel_per_pfn_ns + penalty))
+            # One IPI round per chunk; the handler occupies the target core.
+            for _ in range(chunks):
+                yield from self.node.intc.send_ipi(vec, costs.ipi_handler_core0_ns)
+        o.counter("pisces.channel.msgs").inc()
+        o.counter("pisces.channel.pfns").inc(npfns)
+        o.counter("pisces.channel.bytes").inc(npfns * 8)
+        o.counter("pisces.channel.ipi_rounds").inc(chunks)
         return msg

@@ -185,11 +185,19 @@ class Engine:
     [5]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Any] = None) -> None:
         self.now: int = 0
         self._queue: list = []
         self._seq = 0
-        self._processes: list = []  # live processes, for diagnostics
+        self._processes: list = []  # live (unfinished) processes, for diagnostics
+        if obs is None:
+            # Pick up the ambient observability context's engine observer
+            # (None unless the caller enabled engine instrumentation).
+            from repro.obs import context as _obs_context
+
+            obs = _obs_context.get().engine_obs
+        #: Optional instrumentation sink (see repro.obs.engine_hooks).
+        self.obs = obs
 
     # -- scheduling ---------------------------------------------------------
 
@@ -229,7 +237,23 @@ class Engine:
 
         proc = Process(self, gen, name=name)
         self._processes.append(proc)
+        if self.obs is not None:
+            self.obs.on_spawn(self, proc)
         return proc
+
+    def _process_finished(self, proc) -> None:
+        """Prune a finished process from the diagnostics list.
+
+        Called by :class:`~repro.sim.process.Process` exactly once per
+        finish, so long runs spawning millions of short-lived processes
+        do not leak them here.
+        """
+        try:
+            self._processes.remove(proc)
+        except ValueError:
+            pass
+        if self.obs is not None:
+            self.obs.on_finish(self, proc)
 
     # -- running ------------------------------------------------------------
 
@@ -239,7 +263,10 @@ class Engine:
             return False
         when, _seq, callback = heapq.heappop(self._queue)
         self.now = when
-        callback()
+        if self.obs is None:
+            callback()
+        else:
+            self.obs.run_event(self, callback)
         return True
 
     def run(self, until_ns: Optional[int] = None) -> None:
@@ -288,3 +315,8 @@ class Engine:
     def queue_len(self) -> int:
         """Events currently queued."""
         return len(self._queue)
+
+    @property
+    def live_processes(self) -> tuple:
+        """The processes spawned on this engine that have not finished."""
+        return tuple(self._processes)

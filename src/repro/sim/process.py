@@ -98,6 +98,7 @@ class Process(Awaitable):
         self.finished_at = self.engine.now
         self._result = result
         self._exc = exc
+        self.engine._process_finished(self)
         waiters, self._waiters = self._waiters, []
         for cb in waiters:
             self.engine.call_at(self.engine.now, lambda cb=cb: cb(result, exc))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
 @dataclass
@@ -74,20 +74,53 @@ class TraceRecorder:
 
     Recording can be disabled (the default for large benchmark runs) in
     which case :meth:`record` is a cheap no-op.
+
+    Storage is a :class:`repro.obs.tracer.RingBuffer` — the same bounded
+    recording primitive the span tracer uses — so ``max_events`` caps
+    memory on long noise-profile runs, with evictions counted in
+    :attr:`dropped` instead of failing silently. Every record is also
+    mirrored into the ambient :mod:`repro.obs` tracer (as an instant
+    event on the ``track`` lane) whenever one is enabled, so there is a
+    single recording path feeding trace exports.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, max_events: Optional[int] = None,
+                 track: str = "trace"):
+        from repro.obs.tracer import RingBuffer
+
         self.enabled = enabled
-        self.events: List[TraceEvent] = []
+        self.track = track
+        self._buf = RingBuffer(max_events)
 
     def record(self, time_ns: int, kind: str, **detail) -> None:
         """Append one timestamped event (no-op when disabled)."""
-        if self.enabled:
-            self.events.append(TraceEvent(time_ns, kind, detail))
+        if not self.enabled:
+            return
+        self._buf.append(TraceEvent(time_ns, kind, detail))
+        from repro.obs import context as _obs_context
+
+        tracer = _obs_context.get().tracer
+        if tracer.enabled:
+            tracer.instant(kind, time_ns, track=self.track, **detail)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All retained events, oldest first."""
+        return list(self._buf)
+
+    @property
+    def max_events(self) -> Optional[int]:
+        """The ring cap (None = unbounded)."""
+        return self._buf.max_events
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring cap."""
+        return self._buf.dropped
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         """All recorded events of one kind, in order."""
-        return [ev for ev in self.events if ev.kind == kind]
+        return [ev for ev in self._buf if ev.kind == kind]
 
     def series(self, kind: str, key: str) -> List[Tuple[int, float]]:
         """(time_ns, detail[key]) pairs for all events of ``kind``."""
@@ -95,10 +128,10 @@ class TraceRecorder:
 
     def clear(self) -> None:
         """Drop all recorded events."""
-        self.events.clear()
+        self._buf.clear()
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._buf)
 
 
 def percentile(sorted_xs: List[float], q: float) -> float:

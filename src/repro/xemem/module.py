@@ -27,6 +27,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.enclave.enclave import Channel, Enclave, KernelMessage
 from repro.kernels.pagetable import PAGE_SIZE
 from repro.xemem import commands as C
@@ -83,6 +84,10 @@ class XememModule:
 
     def _next_req_id(self) -> str:
         return f"{self.enclave.name}:{next(self._req_counter)}"
+
+    def _count_forward(self) -> None:
+        self.stats["messages_forwarded"] += 1
+        obs.get().counter("xemem.msgs.forwarded").inc()
 
     # ------------------------------------------------------------- message plumbing
 
@@ -141,6 +146,11 @@ class XememModule:
 
     def discover(self):
         """Generator: the paper's three discovery steps for this enclave."""
+        with obs.get().span("xemem.discover", self.engine, track=self.enclave.name):
+            result = yield from self._discover()
+        return result
+
+    def _discover(self):
         # (1) broadcast: find a channel with a path to the name server
         token = self._next_req_id()
         event = self.engine.event(name=f"ping:{token}")
@@ -218,14 +228,14 @@ class XememModule:
         # -- addressed traffic ------------------------------------------------
         dst = msg.payload.get("dst")
         if dst is None and not self.is_name_server:
-            self.stats["messages_forwarded"] += 1
+            self._count_forward()
             yield from self._send(msg)
             return
         if dst is None and self.is_name_server:
             yield from self._handle_at_name_server(msg)
             return
         if dst != self.my_id:
-            self.stats["messages_forwarded"] += 1
+            self._count_forward()
             yield from self._send(msg)
             return
 
@@ -258,7 +268,7 @@ class XememModule:
                 yield from self._serve(msg)
             else:
                 msg.payload["dst"] = owner
-                self.stats["messages_forwarded"] += 1
+                self._count_forward()
                 yield from self._send(msg)
             return
         if kind == C.ALLOC_SEGID:
@@ -375,9 +385,13 @@ class XememModule:
                 C.make_response(msg, self.my_id, error="attach range outside segment")
             )
             return
-        pfns = yield from self.kernel.walk_for_export(
-            seg.proc, seg.vaddr + offset_pages * PAGE_SIZE, npages
-        )
+        o = obs.get()
+        with o.span("xemem.serve_attach", self.engine, track=self.enclave.name,
+                    npages=npages):
+            pfns = yield from self.kernel.walk_for_export(
+                seg.proc, seg.vaddr + offset_pages * PAGE_SIZE, npages
+            )
+        o.counter("xemem.attach.served").inc()
         self.stats["attaches_served"] += 1
         yield from self._send(C.make_response(msg, self.my_id, pfns=pfns))
 
@@ -389,17 +403,21 @@ class XememModule:
         if vaddr % PAGE_SIZE or nbytes <= 0:
             raise XememError(f"export range [{vaddr:#x}, +{nbytes}) not page aligned")
         npages = -(-nbytes // PAGE_SIZE)
-        yield self.engine.sleep(self.costs.export_fixed_ns)
-        if self.is_name_server:
-            segid = self.nameserver.alloc_segid(self.my_id, npages, name)
-        else:
-            resp = yield from self._request(
-                C.make_command(
-                    C.ALLOC_SEGID, self.my_id, None,
-                    req_id=self._next_req_id(), npages=npages, name=name,
+        o = obs.get()
+        with o.span("xemem.make", self.engine, track=self.enclave.name,
+                    npages=npages, segname=name):
+            yield self.engine.sleep(self.costs.export_fixed_ns)
+            if self.is_name_server:
+                segid = self.nameserver.alloc_segid(self.my_id, npages, name)
+            else:
+                resp = yield from self._request(
+                    C.make_command(
+                        C.ALLOC_SEGID, self.my_id, None,
+                        req_id=self._next_req_id(), npages=npages, name=name,
+                    )
                 )
-            )
-            segid = SegmentId(resp.payload["segid"])
+                segid = SegmentId(resp.payload["segid"])
+        o.counter("xemem.make.count").inc()
         seg = ExportedSegment(segid, proc, vaddr, npages, permit, name)
         self.segments[int(segid)] = seg
         return seg
@@ -453,6 +471,7 @@ class XememModule:
 
     def get(self, proc, segid: SegmentId, write: bool = True):
         """Generator: ``xpmem_get`` — request access, returns an ApId."""
+        obs.get().counter("xemem.get.count").inc()
         local = self.segments.get(int(segid))
         if local is not None:
             if not local.permit.allows(write, is_owner=local.proc is proc):
@@ -479,6 +498,7 @@ class XememModule:
 
         Refused while attachments made under the grant are still mapped
         (XPMEM semantics: detach before release)."""
+        obs.get().counter("xemem.release.count").inc()
         grant = self._grant_of(proc, apid)
         if self._live_attachments.get(int(apid), 0) > 0:
             raise XememError(
@@ -518,11 +538,18 @@ class XememModule:
         )
         if offset_pages < 0 or npages <= 0 or offset_pages + npages > grant.npages:
             raise XememError("attach range outside segment")
-        yield self.engine.sleep(self.costs.attach_fixed_ns)
-        if grant.owner_is_local:
-            attached = yield from self._attach_local(proc, grant, offset_pages, npages)
-        else:
-            attached = yield from self._attach_remote(proc, grant, offset_pages, npages)
+        o = obs.get()
+        t0 = self.engine.now
+        with o.span("xemem.attach", self.engine, track=self.enclave.name,
+                    npages=npages, local=grant.owner_is_local):
+            yield self.engine.sleep(self.costs.attach_fixed_ns)
+            if grant.owner_is_local:
+                attached = yield from self._attach_local(proc, grant, offset_pages, npages)
+            else:
+                attached = yield from self._attach_remote(proc, grant, offset_pages, npages)
+        o.counter("xemem.attach.count").inc()
+        o.counter("xemem.attach.pages").inc(npages)
+        o.histogram("xemem.attach.ns").observe(self.engine.now - t0)
         self.stats["attaches_made"] += 1
         self._live_attachments[int(grant.apid)] = (
             self._live_attachments.get(int(grant.apid), 0) + 1
@@ -598,6 +625,7 @@ class XememModule:
             raise XememError("already detached")
         if attached.proc is not proc:
             raise XememError("only the attaching process may detach")
+        obs.get().counter("xemem.detach.count").inc()
         attached.detached = True
         live = self._live_attachments.get(int(attached.apid), 0)
         if live > 0:

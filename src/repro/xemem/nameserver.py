@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro import obs
 from repro.xemem.ids import SEGID_BASE, SegmentId, XememError
 
 
@@ -49,6 +50,7 @@ class NameServer:
         """Hand out the next enclave ID (discovery protocol)."""
         eid = self._next_enclave_id
         self._next_enclave_id += 1
+        obs.get().counter("xemem.ns.enclave_ids").inc()
         return eid
 
     # -- segids ------------------------------------------------------------------
@@ -67,6 +69,7 @@ class NameServer:
         if name is not None:
             self._names[name] = int(segid)
         self.stats["segids_allocated"] += 1
+        obs.get().counter("xemem.ns.segids_allocated").inc()
         return segid
 
     def owner_of(self, segid: int) -> int:
@@ -96,10 +99,12 @@ class NameServer:
         if rec.name is not None:
             self._names.pop(rec.name, None)
         self.stats["removed"] += 1
+        obs.get().counter("xemem.ns.segids_removed").inc()
 
     def lookup_name(self, name: str) -> Optional[int]:
         """Discoverability: segid registered under ``name``, or None."""
         self.stats["lookups"] += 1
+        obs.get().counter("xemem.ns.lookups").inc()
         return self._names.get(name)
 
     def list_names(self, prefix: str = "") -> Dict[str, int]:

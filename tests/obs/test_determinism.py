@@ -1,0 +1,34 @@
+"""Two identical instrumented runs must export byte-identical data."""
+
+import io
+
+from repro import obs
+from repro.bench import figures
+from repro.hw.costs import MB
+
+
+def _traced_run():
+    with obs.observing(trace=True, metrics=True, engine=True) as ctx:
+        figures.fig5_throughput(reps=1, sizes=(16 * MB,))
+    chrome = io.StringIO()
+    ctx.tracer.to_chrome(chrome)
+    jsonl = io.StringIO()
+    ctx.tracer.to_jsonl(jsonl)
+    return chrome.getvalue(), jsonl.getvalue(), ctx.metrics.to_json()
+
+
+def test_traced_runs_are_byte_identical():
+    first = _traced_run()
+    second = _traced_run()
+    assert first[0] == second[0]  # Chrome trace
+    assert first[1] == second[1]  # JSONL
+    assert first[2] == second[2]  # metrics snapshot
+
+
+def test_instrumentation_does_not_change_results():
+    bare = figures.fig5_throughput(reps=1, sizes=(16 * MB,))
+    with obs.observing(trace=True, metrics=True, engine=True):
+        traced = figures.fig5_throughput(reps=1, sizes=(16 * MB,))
+    assert bare.attach_gib_s == traced.attach_gib_s
+    assert bare.attach_read_gib_s == traced.attach_read_gib_s
+    assert bare.rdma_gib_s == traced.rdma_gib_s

@@ -1,0 +1,104 @@
+"""Unit tests for the metrics registry."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import NULL_METRIC
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    reg.counter("xemem.make.count").inc()
+    reg.counter("xemem.make.count").inc(4)
+    assert reg.counter("xemem.make.count").value == 5
+
+
+def test_counter_rejects_decrease():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1)
+
+
+def test_gauge_last_write_wins():
+    reg = MetricsRegistry()
+    reg.gauge("engine.queue_depth.max").set(3)
+    reg.gauge("engine.queue_depth.max").set(17.5)
+    assert reg.gauge("engine.queue_depth.max").value == 17.5
+
+
+def test_histogram_buckets_and_moments():
+    reg = MetricsRegistry()
+    h = reg.histogram("attach.ns", bounds=(10, 100))
+    for x in (5, 10, 50, 1000):
+        h.observe(x)
+    assert h.count == 4
+    assert h.bucket_counts == [2, 1, 1]  # <=10, <=100, +inf
+    assert h.stats.min == 5
+    assert h.stats.max == 1000
+
+
+def test_histogram_rejects_unsorted_bounds():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.histogram("h", bounds=(100, 10))
+
+
+def test_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_names_prefix_filter():
+    reg = MetricsRegistry()
+    for name in ("xemem.make.count", "xemem.get.count", "nic.rdma.msgs"):
+        reg.counter(name).inc()
+    assert reg.names("xemem.") == ["xemem.get.count", "xemem.make.count"]
+    assert len(reg) == 3
+
+
+def test_disabled_registry_returns_shared_null_sink():
+    reg = MetricsRegistry(enabled=False)
+    assert reg.counter("a") is NULL_METRIC
+    assert reg.gauge("b") is NULL_METRIC
+    assert reg.histogram("c") is NULL_METRIC
+    reg.counter("a").inc()
+    assert len(reg) == 0
+    assert reg.snapshot() == {}
+
+
+def test_snapshot_round_trips_through_json():
+    reg = MetricsRegistry()
+    reg.counter("pisces.channel.msgs").inc(7)
+    reg.gauge("engine.queue_depth.mean").set(2.5)
+    h = reg.histogram("xemem.attach.ns", bounds=(1000, 10_000))
+    h.observe(500)
+    h.observe(5000)
+
+    snap = reg.snapshot()
+    restored = json.loads(json.dumps(snap))
+    assert restored == snap
+    assert restored["pisces.channel.msgs"] == 7
+    assert restored["engine.queue_depth.mean"] == 2.5
+    hist = restored["xemem.attach.ns"]
+    assert hist["count"] == 2
+    assert hist["buckets"] == {"1000": 1, "10000": 1, "+inf": 0}
+    assert hist["mean"] == pytest.approx(2750.0)
+
+
+def test_to_json_is_deterministic():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc(1)
+        reg.histogram("h").observe(42)
+        buf = io.StringIO()
+        reg.to_json(buf)
+        return buf.getvalue()
+
+    assert build() == build()
+    assert json.loads(build())["a"] == 1

@@ -67,6 +67,46 @@ def test_trace_recorder_clear():
     assert len(tr) == 0
 
 
+def test_trace_recorder_ring_cap_keeps_newest():
+    tr = TraceRecorder(max_events=3)
+    for t in range(10):
+        tr.record(t, "e", i=t)
+    assert len(tr) == 3
+    assert [ev.time_ns for ev in tr.events] == [7, 8, 9]
+    assert tr.dropped == 7
+    assert tr.max_events == 3
+
+
+def test_trace_recorder_unbounded_reports_no_drops():
+    tr = TraceRecorder()
+    for t in range(100):
+        tr.record(t, "e")
+    assert tr.max_events is None
+    assert tr.dropped == 0
+
+
+def test_trace_recorder_clear_resets_drop_counter():
+    tr = TraceRecorder(max_events=1)
+    tr.record(1, "a")
+    tr.record(2, "b")
+    assert tr.dropped == 1
+    tr.clear()
+    assert tr.dropped == 0
+
+
+def test_trace_recorder_mirrors_into_obs_tracer():
+    from repro import obs
+
+    with obs.observing(trace=True, metrics=False) as ctx:
+        tr = TraceRecorder(track="system")
+        tr.record(42, "msg", command="ping")
+    (span,) = ctx.tracer.spans
+    assert span.name == "msg"
+    assert span.track == "system"
+    assert span.start_ns == span.end_ns == 42
+    assert span.attrs == {"command": "ping"}
+
+
 def test_percentile_nearest_rank():
     xs = [1.0, 2.0, 3.0, 4.0, 5.0]
     assert percentile(xs, 0) == 1.0

@@ -39,3 +39,57 @@ def test_explain_command(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["fig99"])
+
+
+def test_trace_and_metrics_flags(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "t.json"
+    metrics = tmp_path / "m.json"
+    assert main(["explain", "--trace", str(trace),
+                 "--metrics", "--metrics-out", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "== metrics" in out
+
+    doc = json.loads(trace.read_text())
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert spans, "trace should contain completed spans"
+    cats = {e["cat"] for e in spans}
+    assert "xemem" in cats and "pisces" in cats
+
+    snap = json.loads(metrics.read_text())
+    assert len(snap) >= 10
+    assert snap["xemem.attach.count"] >= 1
+
+
+def test_jsonl_trace_format(tmp_path):
+    import json
+
+    trace = tmp_path / "t.jsonl"
+    assert main(["explain", "--trace", str(trace),
+                 "--trace-format", "jsonl"]) == 0
+    lines = [json.loads(line)
+             for line in trace.read_text().splitlines() if line]
+    assert lines and all("name" in rec and "start_ns" in rec for rec in lines)
+
+
+def test_inspect_command(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert main(["explain", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["inspect", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "spans" in out
+    assert "xemem.attach" in out
+    assert "per track" in out
+
+
+def test_inspect_requires_target():
+    with pytest.raises(SystemExit):
+        main(["inspect"])
+
+
+def test_profile_flag(capsys):
+    assert main(["explain", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "hot path" in out
