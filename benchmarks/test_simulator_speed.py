@@ -6,12 +6,17 @@ simulating the hot paths. Useful for catching performance regressions in
 the page-table vectorization and the RB-tree mirror.
 """
 
+import json
+import pathlib
+import time
+
 import numpy as np
 import pytest
 
 from repro.bench.configs import build_cokernel_system
 from repro.hw.costs import CostModel, GB, MB, PAGE_4K
 from repro.kernels.pagetable import PageTable
+from repro.sim import fastpath
 from repro.virt.memmap import VmmMemoryMap
 from repro.xemem import XpmemApi
 
@@ -57,6 +62,77 @@ def test_speed_native_attach_detach_256mb(benchmark):
         eng.run_process(run())
 
     benchmark(cycle)
+
+
+def _fig5_scale_cycle_seconds(enabled: bool, cycles: int, touches: int,
+                              npages: int) -> float:
+    """Wall time for ``cycles`` attach/touch/detach rounds over a 1 GiB
+    export — the Fig. 5 shape (one standing export, repeated access
+    through the attached window)."""
+    ctx = fastpath.enabled() if enabled else fastpath.disabled()
+    with ctx:
+        rig = build_cokernel_system(num_cokernels=1)
+        eng = rig.engine
+        kitten = rig.cokernels[0].kernel
+        kitten.heap_pages = npages + 16
+        kp = kitten.create_process("exp")
+        lp = rig.linux.kernel.create_process("att", core_id=2)
+        heap = kitten.heap_region(kp)
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+
+        def setup():
+            segid = yield from api_k.xpmem_make(heap.start, npages * PAGE_4K)
+            apid = yield from api_l.xpmem_get(segid)
+            return apid
+
+        apid = eng.run_process(setup())
+        t0 = time.perf_counter()
+        for _ in range(cycles):
+            def run():
+                att = yield from api_l.xpmem_attach(apid)
+                for _ in range(touches):
+                    yield from rig.linux.kernel.touch_pages(
+                        lp, att.vaddr, npages, write=True
+                    )
+                yield from api_l.xpmem_detach(att)
+
+            eng.run_process(run())
+        elapsed = time.perf_counter() - t0
+    return elapsed
+
+
+def test_speed_fastpath_1gib_attach_speedup():
+    """The fast paths must be worth their complexity: >=2x wall-clock on a
+    Fig. 5-scale run. Emits ``benchmarks/results/BENCH_speed.json``."""
+    npages = GB // PAGE_4K
+    cycles, touches = 3, 8
+    # best-of-2 per mode to shave scheduler noise
+    slow = min(
+        _fig5_scale_cycle_seconds(False, cycles, touches, npages)
+        for _ in range(2)
+    )
+    fast = min(
+        _fig5_scale_cycle_seconds(True, cycles, touches, npages)
+        for _ in range(2)
+    )
+    speedup = slow / fast
+    results = pathlib.Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "BENCH_speed.json").write_text(json.dumps({
+        "benchmark": "fig5_scale_attach_touch_detach",
+        "attach_bytes": npages * PAGE_4K,
+        "npages": npages,
+        "cycles": cycles,
+        "touches_per_cycle": touches,
+        "slowpath_seconds": round(slow, 6),
+        "fastpath_seconds": round(fast, 6),
+        "speedup": round(speedup, 3),
+        "required_speedup": 2.0,
+    }, indent=2) + "\n")
+    assert speedup >= 2.0, (
+        f"fast paths only {speedup:.2f}x faster (slow={slow:.3f}s, "
+        f"fast={fast:.3f}s)"
+    )
 
 
 def test_speed_rb_memmap_insert_64k_entries(benchmark):

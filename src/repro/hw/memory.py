@@ -283,9 +283,9 @@ class PhysicalMemory:
             frame = self._frames[pfn] = np.zeros(PAGE_4K, dtype=np.uint8)
         return frame
 
-    def map_region(self, pfns: np.ndarray) -> "MappedRegion":
+    def map_region(self, pfns: np.ndarray, writable: bool = True) -> "MappedRegion":
         """A MappedRegion viewing the given ordered frame list."""
-        return MappedRegion(self, np.asarray(pfns, dtype=np.int64))
+        return MappedRegion(self, np.asarray(pfns, dtype=np.int64), writable=writable)
 
 
 class MappedRegion:
@@ -294,9 +294,13 @@ class MappedRegion:
     Byte ``i`` of the region lives in frame ``pfns[i // 4096]`` at offset
     ``i % 4096``. Reads and writes hit the node's single backing store, so
     two regions over the same frames alias — that *is* shared memory.
+
+    A read-only mapping (``writable=False`` — e.g. an XEMEM attachment to
+    a segment granted without write permission) refuses stores with
+    :class:`PermissionError` and hands out non-writeable page views.
     """
 
-    def __init__(self, mem: PhysicalMemory, pfns: np.ndarray):
+    def __init__(self, mem: PhysicalMemory, pfns: np.ndarray, writable: bool = True):
         if len(pfns) == 0:
             raise ValueError("empty mapping")
         if pfns.min() < 0 or pfns.max() >= mem.total_frames:
@@ -304,6 +308,7 @@ class MappedRegion:
         self.mem = mem
         self.pfns = pfns.astype(np.int64, copy=True)
         self.nbytes = len(pfns) * PAGE_4K
+        self.writable = writable
 
     @property
     def npages(self) -> int:
@@ -318,6 +323,8 @@ class MappedRegion:
 
     def write(self, offset: int, data: bytes) -> None:
         """Scatter ``data`` into the region starting at ``offset``."""
+        if not self.writable:
+            raise PermissionError("write through read-only mapping")
         self._check(offset, len(data))
         src = np.frombuffer(data, dtype=np.uint8)
         pos = 0
@@ -344,10 +351,14 @@ class MappedRegion:
         return out.tobytes()
 
     def page_view(self, index: int) -> np.ndarray:
-        """Writable view of page ``index`` of the region."""
+        """View of page ``index``; non-writeable for read-only mappings."""
         if not 0 <= index < self.npages:
             raise ValueError(f"page {index} outside region of {self.npages} pages")
-        return self.mem.frame_view(int(self.pfns[index]))
+        frame = self.mem.frame_view(int(self.pfns[index]))
+        if not self.writable:
+            frame = frame.view()
+            frame.flags.writeable = False
+        return frame
 
     def as_array(self) -> np.ndarray:
         """Gather the whole region into one contiguous array (a copy)."""
@@ -355,6 +366,8 @@ class MappedRegion:
 
     def fill(self, value: int) -> None:
         """Set every byte of the region to ``value``."""
+        if not self.writable:
+            raise PermissionError("fill of read-only mapping")
         for i in range(self.npages):
             self.page_view(i)[:] = value
 

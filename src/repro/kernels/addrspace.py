@@ -52,6 +52,10 @@ class Region:
         self.npages = npages
         self.kind = kind
         self.name = name
+        #: PTE flags installed when this region populates. Read-only XEMEM
+        #: attachments drop PTE_WRITABLE here so permission lives in the
+        #: page table, not just the view layer.
+        self.pte_flags = PTE_PRESENT | PTE_WRITABLE | PTE_USER
         #: Pages actually populated (LAZY regions fault these in one by one).
         self.populated = 0
         #: For LAZY regions whose frames are predetermined (local XEMEM
@@ -146,23 +150,50 @@ class AddressSpace:
     # -- population ---------------------------------------------------------------
 
     def map_region_pfns(self, region: Region, pfns: np.ndarray,
-                        flags: int = PTE_PRESENT | PTE_WRITABLE | PTE_USER) -> None:
-        """Back the whole region with ``pfns`` (STATIC/EAGER population)."""
+                        flags: Optional[int] = None) -> None:
+        """Back the whole region with ``pfns`` (STATIC/EAGER population).
+
+        ``flags=None`` (the default) installs the region's own
+        :attr:`~Region.pte_flags`.
+        """
         if len(pfns) != region.npages:
             raise ValueError(
                 f"region {region.name!r} has {region.npages} pages, got {len(pfns)} pfns"
             )
-        self.table.map_range(region.start, pfns, flags)
+        self.table.map_range(region.start, pfns, region.pte_flags if flags is None else flags)
         region.populated = region.npages
 
     def populate_page(self, region: Region, vaddr: int, pfn: int,
-                      flags: int = PTE_PRESENT | PTE_WRITABLE | PTE_USER) -> None:
+                      flags: Optional[int] = None) -> None:
         """Fault one page of a LAZY region in."""
         if region.kind is not RegionKind.LAZY:
             raise ValueError(f"populate_page on non-LAZY region {region.name!r}")
         region.page_index(vaddr)  # bounds check
-        self.table.map_page(vaddr & ~(PAGE_SIZE - 1), pfn, flags)
+        self.table.map_page(
+            vaddr & ~(PAGE_SIZE - 1), pfn, region.pte_flags if flags is None else flags
+        )
         region.populated += 1
+
+    def populate_pages(self, region: Region, page_indices: np.ndarray,
+                       pfns: np.ndarray, flags: Optional[int] = None) -> None:
+        """Fault a batch of pages of a LAZY region in at once.
+
+        ``page_indices`` are region-relative page numbers, sorted and
+        unique — the vectorized counterpart of repeated
+        :meth:`populate_page` calls.
+        """
+        if region.kind is not RegionKind.LAZY:
+            raise ValueError(f"populate_pages on non-LAZY region {region.name!r}")
+        page_indices = np.asarray(page_indices, dtype=np.int64)
+        if len(page_indices) and not (
+            0 <= int(page_indices[0]) and int(page_indices[-1]) < region.npages
+        ):
+            raise ValueError(f"page index outside region {region.name!r}")
+        self.table.map_pages_sparse(
+            region.start, page_indices, pfns,
+            region.pte_flags if flags is None else flags,
+        )
+        region.populated += len(page_indices)
 
     def unmap_region(self, region: Region) -> np.ndarray:
         """Tear down a fully-populated region; returns its PFNs."""

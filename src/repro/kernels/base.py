@@ -22,7 +22,14 @@ from repro.hw.costs import CostModel
 from repro.hw.memory import FrameAllocator, PhysicalMemory, ranges_to_pfns, pfns_to_ranges
 from repro.hw.topology import Core, NodeHardware
 from repro.kernels.addrspace import Region, RegionKind
-from repro.kernels.pagetable import PTE_PINNED
+from repro.kernels.pagetable import (
+    PAGE_SIZE,
+    PTE_PINNED,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+    PageFault,
+)
 from repro.kernels.process import OSProcess
 from repro.sim.engine import Engine
 
@@ -162,13 +169,17 @@ class KernelBase:
 
     def map_remote_pfns(self, proc: OSProcess, pfns: np.ndarray, name: str = "xemem-att",
                         core: Optional[Core] = None,
-                        extra_per_page_ns: int = 0):
+                        extra_per_page_ns: int = 0,
+                        writable: bool = True):
         """Generator: map a remote PFN list into the process (EAGER).
 
-        Returns the (Region, vaddr). Subclasses refine placement and cost.
+        Returns the (Region, vaddr). ``writable=False`` installs PTEs
+        without PTE_WRITABLE (read-only grants). Subclasses refine
+        placement and cost.
         """
         self._own_process(proc)
         region, vaddr = self._place_attachment(proc, len(pfns), name)
+        region.pte_flags = PTE_PRESENT | PTE_USER | (PTE_WRITABLE if writable else 0)
         core = core or self.service_core
         install_ns = len(pfns) * (self.costs.map_install_per_page_ns + extra_per_page_ns)
         o = obs.get()
@@ -204,6 +215,11 @@ class KernelBase:
         """
         self._own_process(proc)
         yield self.engine.sleep(npages * self.costs.page_touch_ns)
+        if write and not proc.aspace.table.range_flags_all(vaddr, npages, PTE_WRITABLE):
+            first = int(
+                np.flatnonzero(~proc.aspace.table.flag_mask(vaddr, npages, PTE_WRITABLE))[0]
+            )
+            raise PageFault(vaddr + first * PAGE_SIZE, write=True)
         proc.aspace.table.translate_range(vaddr, npages)
         return npages
 

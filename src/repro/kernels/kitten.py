@@ -28,7 +28,13 @@ from repro import obs
 from repro.hw.topology import Core
 from repro.kernels.addrspace import Region, RegionKind
 from repro.kernels.base import KernelBase, KernelError
-from repro.kernels.pagetable import PAGE_SIZE, PML4_SLOT_SPAN
+from repro.kernels.pagetable import (
+    PAGE_SIZE,
+    PML4_SLOT_SPAN,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+)
 from repro.kernels.process import OSProcess
 
 #: Default static layout (page counts).
@@ -153,10 +159,12 @@ class KittenKernel(KernelBase):
 
     def map_remote_pfns(self, proc: OSProcess, pfns: np.ndarray, name: str = "xemem-att",
                         core: Optional[Core] = None,
-                        extra_per_page_ns: int = 0):
+                        extra_per_page_ns: int = 0,
+                        writable: bool = True):
         """Generator: map a remote PFN list via dynamic heap expansion."""
         self._own_process(proc)
         region = self.expand_heap(proc, len(pfns), name)
+        region.pte_flags = PTE_PRESENT | PTE_USER | (PTE_WRITABLE if writable else 0)
         core = core or self.service_core
         install_ns = len(pfns) * (self.costs.map_install_per_page_ns + extra_per_page_ns)
         yield from core.occupy(install_ns, f"xemem-map:{len(pfns)}p")

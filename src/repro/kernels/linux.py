@@ -29,7 +29,15 @@ from repro import obs
 from repro.hw.topology import Core
 from repro.kernels.addrspace import Region, RegionKind
 from repro.kernels.base import KernelBase, KernelError
-from repro.kernels.pagetable import PAGE_SIZE, PageFault, PTE_PINNED
+from repro.kernels.pagetable import (
+    PAGE_SIZE,
+    PageFault,
+    PTE_PINNED,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+)
+from repro.sim.fastpath import FASTPATH
 from repro.kernels.process import OSProcess
 from repro.sim.resources import Mutex
 
@@ -65,6 +73,16 @@ class LinuxKernel(KernelBase):
             raise PageFault(vaddr)
         if region.kind is not RegionKind.LAZY:
             raise KernelError(f"fault in non-LAZY region {region.name!r} at {vaddr:#x}")
+        page_va = vaddr & ~(PAGE_SIZE - 1)
+        try:
+            proc.aspace.table.translate(page_va)
+        except PageFault:
+            pass
+        else:
+            # The page is present, so the faulting access violated its
+            # protection (a store through a read-only attachment) — there
+            # is nothing to populate.
+            raise PageFault(vaddr, write=True)
         core = core or self.node.core(proc.core_id)
         yield from core.occupy(self.costs.linux_page_fault_ns, "pgfault")
         page = region.page_index(vaddr)
@@ -108,6 +126,7 @@ class LinuxKernel(KernelBase):
         self._own_process(proc)
         region = proc.aspace.find_region(vaddr)
         faults = 0
+        table = proc.aspace.table
         if (
             region is not None
             and region.kind is RegionKind.LAZY
@@ -119,19 +138,80 @@ class LinuxKernel(KernelBase):
         elif region is not None and region.populated == region.npages and region.contains(
             vaddr + (npages - 1) * PAGE_SIZE
         ):
-            pass  # fully populated: no faults possible
+            # Fully populated: no demand faults possible, but a write
+            # through pages mapped read-only still protection-faults.
+            if write and not table.range_flags_all(vaddr, npages, PTE_WRITABLE):
+                first = int(
+                    np.flatnonzero(~table.flag_mask(vaddr, npages, PTE_WRITABLE))[0]
+                )
+                raise PageFault(vaddr + first * PAGE_SIZE, write=True)
+        elif self._batch_faultable(table, region, vaddr, npages, write):
+            missing = np.flatnonzero(~table.present_mask(vaddr, npages))
+            if len(missing):
+                yield from self._fault_missing(proc, region, vaddr, missing)
+                faults = len(missing)
         else:
-            table = proc.aspace.table
             for i in range(npages):
                 va = vaddr + i * PAGE_SIZE
                 try:
                     table.translate(va, write=write)
                 except PageFault:
+                    # handle_fault populates a missing page, or re-raises
+                    # as a protection fault if the page was present and
+                    # the access violated its permissions.
                     yield from self.handle_fault(proc, va)
                     faults += 1
         yield self.engine.sleep(npages * self.costs.page_touch_ns)
         proc.aspace.table.translate_range(vaddr, npages)
         return faults
+
+    def _batch_faultable(self, table, region: Optional[Region], vaddr: int,
+                         npages: int, write: bool) -> bool:
+        """True when the vectorized partial-population path is safe here.
+
+        A write touch must protection-fault at the first *present*
+        read-only page exactly as the per-page loop would, so batching is
+        only taken when every present page in the range is writable.
+        """
+        if not FASTPATH.fault_vectorize or npages <= 0:
+            return False
+        if region is None or region.kind is not RegionKind.LAZY:
+            return False
+        if not region.contains(vaddr) or not region.contains(
+            vaddr + (npages - 1) * PAGE_SIZE
+        ):
+            return False
+        if write:
+            present = table.present_mask(vaddr, npages)
+            writable = table.flag_mask(vaddr, npages, PTE_WRITABLE)
+            if not (present == writable).all():
+                return False
+        return True
+
+    def _fault_missing(self, proc: OSProcess, region: Region, vaddr: int,
+                       missing: np.ndarray):
+        """Generator: service a batch of demand faults in one pass.
+
+        Semantically identical to ``len(missing)`` sequential
+        :meth:`handle_fault` calls on an uncontended core: the steal-log
+        intervals are contiguous with the same tag (so any windowed noise
+        query sums identically), the first-fit allocator hands out the
+        same frames in the same order, and the fault counters advance by
+        the same total.
+        """
+        n = len(missing)
+        core = self.node.core(proc.core_id)
+        yield from core.occupy(n * self.costs.linux_page_fault_ns, "pgfault")
+        page0 = region.page_index(vaddr)
+        idx = page0 + np.asarray(missing, dtype=np.int64)
+        if region.backing_pfns is not None:
+            pfns = region.backing_pfns[idx]
+        else:
+            pfns = self.alloc_pfns(n)
+        proc.aspace.populate_pages(region, idx, pfns)
+        self.fault_count += n
+        obs.get().counter("linux.pagefault.count").inc(n)
+        return n
 
     # -- export side: get_user_pages + walk ----------------------------------------------
 
@@ -154,12 +234,17 @@ class LinuxKernel(KernelBase):
         ):
             yield from self._bulk_fault(proc, region)
         elif region is None or region.populated != region.npages:
-            for i in range(npages):
-                va = vaddr + i * PAGE_SIZE
-                try:
-                    table.translate(va)
-                except PageFault:
-                    yield from self.handle_fault(proc, va)
+            if self._batch_faultable(table, region, vaddr, npages, write=False):
+                missing = np.flatnonzero(~table.present_mask(vaddr, npages))
+                if len(missing):
+                    yield from self._fault_missing(proc, region, vaddr, missing)
+            else:
+                for i in range(npages):
+                    va = vaddr + i * PAGE_SIZE
+                    try:
+                        table.translate(va)
+                    except PageFault:
+                        yield from self.handle_fault(proc, va)
         yield self.engine.sleep(npages * self.costs.linux_gup_pin_per_page_ns)
         table.set_flags_range(vaddr, npages, set_mask=PTE_PINNED)
         self.gup_pinned_pages += npages
@@ -176,7 +261,8 @@ class LinuxKernel(KernelBase):
 
     def map_remote_pfns(self, proc: OSProcess, pfns: np.ndarray, name: str = "xemem-att",
                         core: Optional[Core] = None,
-                        extra_per_page_ns: int = 0):
+                        extra_per_page_ns: int = 0,
+                        writable: bool = True):
         """Generator: map a remote PFN list eagerly (the cross-enclave path).
 
         vm_mmap carves the VMA under the global map lock (the shared
@@ -192,6 +278,9 @@ class LinuxKernel(KernelBase):
             try:
                 yield self.engine.sleep(self.costs.vm_mmap_fixed_ns)
                 region, _vaddr = self._place_attachment(proc, len(pfns), name)
+                region.pte_flags = PTE_PRESENT | PTE_USER | (
+                    PTE_WRITABLE if writable else 0
+                )
             finally:
                 self.map_lock.release()
             core = core or self.service_core
@@ -222,7 +311,8 @@ class LinuxKernel(KernelBase):
             self.free_pfns(pfns)
         return len(pfns)
 
-    def attach_local_lazy(self, proc: OSProcess, pfns: np.ndarray, name: str = "xemem-local"):
+    def attach_local_lazy(self, proc: OSProcess, pfns: np.ndarray,
+                          name: str = "xemem-local", writable: bool = True):
         """Generator: single-OS XEMEM attachment — a LAZY VMA over the
         exporter's frames. Cheap now, pays one fault per page on touch
         (the Fig. 8(b) mechanism)."""
@@ -230,5 +320,6 @@ class LinuxKernel(KernelBase):
         yield self.engine.sleep(self.costs.vm_mmap_fixed_ns)
         vaddr = proc.aspace.find_free(len(pfns))
         region = proc.aspace.add_region(vaddr, len(pfns), RegionKind.LAZY, name)
+        region.pte_flags = PTE_PRESENT | PTE_USER | (PTE_WRITABLE if writable else 0)
         region.backing_pfns = np.asarray(pfns, dtype=np.int64)
         return region

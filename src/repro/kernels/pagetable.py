@@ -22,6 +22,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.sim.fastpath import FASTPATH
+
 PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
 ENTRIES = 512
@@ -84,8 +86,20 @@ def _split_vaddr(vaddr: int) -> Tuple[int, int, int, int]:
     )
 
 
+#: Entries kept in a table's PFN-walk cache (recurring-attach workloads
+#: re-walk a handful of ranges; anything bigger is churn).
+WALK_CACHE_SLOTS = 8
+
+
 class PageTable:
-    """One process's 4-level translation tree."""
+    """One process's 4-level translation tree.
+
+    Every PFN-*changing* mutation bumps :attr:`generation`; flag-only
+    changes (:meth:`set_flags`, :meth:`set_flags_range`) do not, since
+    they cannot alter what :meth:`translate_range` returns. The walk
+    cache keys on the generation, so repeated walks of an unchanged
+    range (Fig. 8's recurring attachments) skip the leaf iteration.
+    """
 
     def __init__(self) -> None:
         # PML4: slot -> PDPT dict; PDPT: slot -> PD dict; PD: slot -> leaf array
@@ -94,6 +108,11 @@ class PageTable:
         #: donor PageTable. Borrowed slots are read-through, never modified.
         self.shared_slots: Dict[int, "PageTable"] = {}
         self._present = 0
+        #: Bumped on every PFN-changing mutation; invalidates the walk cache.
+        self.generation = 0
+        #: (vaddr, npages) -> (generation, pfns). Entries store private
+        #: copies and hits return copies, so callers can never corrupt it.
+        self._walk_cache: Dict[Tuple[int, int], Tuple[int, np.ndarray]] = {}
 
     # -- structure helpers ----------------------------------------------------
 
@@ -135,6 +154,7 @@ class PageTable:
             raise ValueError(f"vaddr {vaddr:#x} already mapped")
         leaf[i1] = pack_pte(pfn, flags)
         self._present += 1
+        self.generation += 1
 
     def unmap_page(self, vaddr: int) -> int:
         """Remove the PTE; returns the PFN it mapped."""
@@ -147,6 +167,7 @@ class PageTable:
         pfn = pte_pfn(int(leaf[i1]))
         leaf[i1] = 0
         self._present -= 1
+        self.generation += 1
         return pfn
 
     def translate(self, vaddr: int, write: bool = False) -> Tuple[int, int]:
@@ -176,8 +197,12 @@ class PageTable:
     # -- vectorized range operations --------------------------------------------
 
     def _iter_leaf_spans(self, vaddr: int, npages: int, create: bool) -> Iterator[Tuple[np.ndarray, int, int, int]]:
-        """Yield (leaf, first_index, count, page_offset) per touched leaf table."""
-        if npages <= 0:
+        """Yield (leaf, first_index, count, page_offset) per touched leaf table.
+
+        A zero-page range yields nothing (range operations on empty
+        ranges are well-defined no-ops); a negative count is a bug.
+        """
+        if npages < 0:
             raise ValueError(f"bad page count {npages}")
         done = 0
         va = vaddr
@@ -189,6 +214,18 @@ class PageTable:
             done += take
             va += take * PAGE_SIZE
 
+    def _range_touches_shared(self, vaddr: int, npages: int) -> bool:
+        """True when [vaddr, +npages) crosses a borrowed (SMARTMAP) slot.
+
+        Such ranges read the *donor's* tree, whose mutations do not bump
+        this table's generation — the walk cache must bypass them.
+        """
+        if not self.shared_slots:
+            return False
+        first = vaddr >> 39
+        last = (vaddr + npages * PAGE_SIZE - 1) >> 39
+        return any(slot in self.shared_slots for slot in range(first, last + 1))
+
     def map_range(self, vaddr: int, pfns: np.ndarray, flags: int = PTE_PRESENT | PTE_WRITABLE | PTE_USER) -> None:
         """Install ``len(pfns)`` PTEs starting at ``vaddr`` (vectorized)."""
         if not flags & PTE_PRESENT:
@@ -197,37 +234,101 @@ class PageTable:
         if len(pfns) and pfns.min() < 0:
             raise ValueError("negative pfn in range")
         spans = list(self._iter_leaf_spans(vaddr, len(pfns), create=True))
-        for leaf, i1, take, off in spans:  # validate first: all-or-nothing
-            window = leaf[i1 : i1 + take]
-            if (window & PTE_PRESENT).any():
-                first = int(np.flatnonzero(window & PTE_PRESENT)[0])
-                raise ValueError(
-                    f"vaddr {vaddr + (off + first) * PAGE_SIZE:#x} already mapped"
-                )
-        for leaf, i1, take, off in spans:
-            leaf[i1 : i1 + take] = (pfns[off : off + take] << PAGE_SHIFT) | flags
+        if FASTPATH.range_vectorize:
+            # A PTE is nonzero iff present (mapping always sets PRESENT),
+            # so plain truthiness replaces the `& PTE_PRESENT` mask pass,
+            # and the packed values are computed once for the whole range.
+            packed = (pfns << PAGE_SHIFT) | flags
+            for leaf, i1, take, off in spans:  # validate first: all-or-nothing
+                window = leaf[i1 : i1 + take]
+                if window.any():
+                    first = int(np.flatnonzero(window)[0])
+                    raise ValueError(
+                        f"vaddr {vaddr + (off + first) * PAGE_SIZE:#x} already mapped"
+                    )
+            for leaf, i1, take, off in spans:
+                leaf[i1 : i1 + take] = packed[off : off + take]
+        else:
+            for leaf, i1, take, off in spans:  # validate first: all-or-nothing
+                window = leaf[i1 : i1 + take]
+                if (window & PTE_PRESENT).any():
+                    first = int(np.flatnonzero(window & PTE_PRESENT)[0])
+                    raise ValueError(
+                        f"vaddr {vaddr + (off + first) * PAGE_SIZE:#x} already mapped"
+                    )
+            for leaf, i1, take, off in spans:
+                leaf[i1 : i1 + take] = (pfns[off : off + take] << PAGE_SHIFT) | flags
         self._present += len(pfns)
+        if len(pfns):
+            self.generation += 1
 
     def unmap_range(self, vaddr: int, npages: int) -> np.ndarray:
         """Remove ``npages`` PTEs; returns the PFNs they mapped."""
         out = np.empty(npages, dtype=np.int64)
         spans = list(self._iter_leaf_spans(vaddr, npages, create=False))
-        for leaf, i1, take, off in spans:  # validate first: all-or-nothing
-            if leaf is None or not (leaf[i1 : i1 + take] & PTE_PRESENT).all():
-                raise PageFault(vaddr + off * PAGE_SIZE)
-        for leaf, i1, take, off in spans:
-            out[off : off + take] = leaf[i1 : i1 + take] >> PAGE_SHIFT
-            leaf[i1 : i1 + take] = 0
+        if FASTPATH.range_vectorize:
+            for leaf, i1, take, off in spans:  # validate first: all-or-nothing
+                if leaf is None or not leaf[i1 : i1 + take].all():
+                    raise PageFault(vaddr + off * PAGE_SIZE)
+            for leaf, i1, take, off in spans:
+                window = leaf[i1 : i1 + take]
+                out[off : off + take] = window
+                window[:] = 0
+            out >>= PAGE_SHIFT
+        else:
+            for leaf, i1, take, off in spans:  # validate first: all-or-nothing
+                if leaf is None or not (leaf[i1 : i1 + take] & PTE_PRESENT).all():
+                    raise PageFault(vaddr + off * PAGE_SIZE)
+            for leaf, i1, take, off in spans:
+                out[off : off + take] = leaf[i1 : i1 + take] >> PAGE_SHIFT
+                leaf[i1 : i1 + take] = 0
         self._present -= npages
+        if npages:
+            self.generation += 1
         return out
 
     def translate_range(self, vaddr: int, npages: int) -> np.ndarray:
         """PFNs for ``npages`` starting at ``vaddr`` — the page-table *walk*
-        XEMEM uses to build PFN lists. Raises on any hole."""
+        XEMEM uses to build PFN lists. Raises on any hole.
+
+        Repeated walks of an unchanged range are served from the walk
+        cache (keyed on :attr:`generation`); ranges that cross a borrowed
+        SMARTMAP slot always re-walk, since donor mutations do not bump
+        this table's generation. The timing-model counter is charged
+        either way — the cache only removes host-side leaf iteration.
+        """
         from repro import obs
 
         obs.get().counter("pagetable.translate.pages").inc(npages)
+        if npages == 0:
+            return np.empty(0, dtype=np.int64)
+        if FASTPATH.walk_cache and not self._range_touches_shared(vaddr, npages):
+            key = (vaddr, npages)
+            hit = self._walk_cache.get(key)
+            if hit is not None and hit[0] == self.generation:
+                obs.get().counter("fastpath.walkcache.hits").inc()
+                return hit[1].copy()
+            out = self._walk(vaddr, npages)
+            if hit is None and len(self._walk_cache) >= WALK_CACHE_SLOTS:
+                self._walk_cache.pop(next(iter(self._walk_cache)))
+            self._walk_cache[key] = (self.generation, out.copy())
+            return out
+        return self._walk(vaddr, npages)
+
+    def _walk(self, vaddr: int, npages: int) -> np.ndarray:
+        """The uncached leaf walk behind :meth:`translate_range`."""
         out = np.empty(npages, dtype=np.int64)
+        if FASTPATH.range_vectorize:
+            for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
+                if leaf is None:
+                    raise PageFault(vaddr + off * PAGE_SIZE)
+                window = leaf[i1 : i1 + take]
+                if not window.all():
+                    hole = int(np.flatnonzero(window == 0)[0])
+                    raise PageFault(vaddr + (off + hole) * PAGE_SIZE)
+                out[off : off + take] = window
+            out >>= PAGE_SHIFT
+            return out
         for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
             if leaf is None:
                 raise PageFault(vaddr + off * PAGE_SIZE)
@@ -240,6 +341,16 @@ class PageTable:
 
     def range_flags_all(self, vaddr: int, npages: int, mask: int) -> bool:
         """True when every PTE in the range has all bits of ``mask`` set."""
+        if FASTPATH.range_vectorize:
+            out = np.empty(npages, dtype=np.int64)
+            for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
+                if leaf is None:
+                    raise PageFault(vaddr + off * PAGE_SIZE)
+                window = leaf[i1 : i1 + take]
+                if not window.all():
+                    raise PageFault(vaddr + off * PAGE_SIZE)
+                out[off : off + take] = window
+            return bool(((out & mask) == mask).all())
         for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
             if leaf is None:
                 raise PageFault(vaddr + off * PAGE_SIZE)
@@ -251,13 +362,97 @@ class PageTable:
         return True
 
     def set_flags_range(self, vaddr: int, npages: int, set_mask: int = 0, clear_mask: int = 0) -> None:
-        """Adjust flag bits across a mapped range (e.g. bulk pinning)."""
+        """Adjust flag bits across a mapped range (e.g. bulk pinning).
+
+        Flag changes never alter what :meth:`translate_range` returns, so
+        this deliberately does *not* bump :attr:`generation` — recurring
+        pin/unpin cycles keep their walk-cache entries warm.
+        """
         if clear_mask & PTE_PRESENT:
             raise ValueError("use unmap_range to clear PRESENT")
+        if FASTPATH.range_vectorize:
+            clear = np.int64(~clear_mask)
+            for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
+                if leaf is None:
+                    raise PageFault(vaddr + off * PAGE_SIZE)
+                window = leaf[i1 : i1 + take]
+                if not window.all():
+                    raise PageFault(vaddr + off * PAGE_SIZE)
+                window |= set_mask
+                window &= clear
+            return
         for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
             if leaf is None or not (leaf[i1 : i1 + take] & PTE_PRESENT).all():
                 raise PageFault(vaddr + off * PAGE_SIZE)
             leaf[i1 : i1 + take] = (leaf[i1 : i1 + take] | set_mask) & ~clear_mask
+
+    def present_mask(self, vaddr: int, npages: int) -> np.ndarray:
+        """Boolean per-page presence for the range; missing leaves read False.
+
+        Unlike :meth:`translate_range` this never faults — it is the probe
+        behind the vectorized partial-population fault paths.
+        """
+        out = np.zeros(npages, dtype=bool)
+        for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
+            if leaf is not None:
+                out[off : off + take] = leaf[i1 : i1 + take] != 0
+        return out
+
+    def flag_mask(self, vaddr: int, npages: int, mask: int) -> np.ndarray:
+        """Boolean per-page: present *and* every bit of ``mask`` set."""
+        want = np.int64(mask | PTE_PRESENT)
+        out = np.zeros(npages, dtype=bool)
+        for leaf, i1, take, off in self._iter_leaf_spans(vaddr, npages, create=False):
+            if leaf is not None:
+                out[off : off + take] = (leaf[i1 : i1 + take] & want) == want
+        return out
+
+    def map_pages_sparse(
+        self,
+        vaddr: int,
+        page_indices: np.ndarray,
+        pfns: np.ndarray,
+        flags: int = PTE_PRESENT | PTE_WRITABLE | PTE_USER,
+    ) -> None:
+        """Install PTEs at ``vaddr + idx*PAGE_SIZE`` for each ``idx``.
+
+        ``page_indices`` must be sorted ascending and unique (as produced
+        by ``np.flatnonzero`` over a presence mask). Grouping by leaf lets
+        a scattered fill of a partially-populated range run as a few
+        fancy-indexed assignments instead of one ``map_page`` per hole.
+        All-or-nothing like :meth:`map_range`.
+        """
+        if not flags & PTE_PRESENT:
+            raise ValueError("mapping must set PTE_PRESENT")
+        page_indices = np.asarray(page_indices, dtype=np.int64)
+        pfns = np.asarray(pfns, dtype=np.int64)
+        if len(page_indices) != len(pfns):
+            raise ValueError("page_indices and pfns disagree on length")
+        n = len(page_indices)
+        if n == 0:
+            return
+        if pfns.min() < 0:
+            raise ValueError("negative pfn in range")
+        abs_pages = (vaddr >> PAGE_SHIFT) + page_indices
+        # Sorted indices make pages of the same leaf contiguous here.
+        bounds = np.flatnonzero(np.diff(abs_pages >> 9)) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [n]))
+        packed = (pfns << PAGE_SHIFT) | flags
+        groups = []
+        for s, e in zip(starts, ends):
+            i4, i3, i2, _ = _split_vaddr(int(abs_pages[s]) << PAGE_SHIFT)
+            leaf = self._leaf(i4, i3, i2, create=True)
+            idx = abs_pages[s:e] & 0x1FF
+            taken = np.flatnonzero(leaf[idx])
+            if len(taken):
+                bad = vaddr + int(page_indices[s + int(taken[0])]) * PAGE_SIZE
+                raise ValueError(f"vaddr {bad:#x} already mapped")
+            groups.append((leaf, idx, s, e))
+        for leaf, idx, s, e in groups:
+            leaf[idx] = packed[s:e]
+        self._present += n
+        self.generation += 1
 
     # -- SMARTMAP -----------------------------------------------------------------
 
@@ -274,12 +469,14 @@ class PageTable:
         if donor is self:
             raise ValueError("cannot SMARTMAP a table into itself")
         self.shared_slots[slot] = donor
+        self.generation += 1
 
     def unshare_pml4_slot(self, slot: int) -> None:
         """Drop a borrowed SMARTMAP slot."""
         if slot not in self.shared_slots:
             raise ValueError(f"PML4 slot {slot} not shared")
         del self.shared_slots[slot]
+        self.generation += 1
 
     # -- introspection --------------------------------------------------------------
 

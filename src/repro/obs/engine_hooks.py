@@ -58,17 +58,17 @@ class EngineObserver:
 
     # -- engine hooks ---------------------------------------------------------
 
-    def run_event(self, engine, callback) -> None:
+    def run_event(self, engine, callback, args=()) -> None:
         """Execute one popped event on the engine's behalf, instrumented."""
         self.events_executed += 1
         if self.events_executed % self.sample_every == 0:
             self.queue_depth.add(engine.queue_len)
         if not self.profile_enabled:
-            callback()
+            callback(*args)
             return
         t0 = time.perf_counter()
         try:
-            callback()
+            callback(*args)
         finally:
             elapsed = time.perf_counter() - t0
             cell = self._profile.setdefault(_callback_site(callback), [0, 0.0])

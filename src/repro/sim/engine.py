@@ -1,15 +1,20 @@
 """Event loop and virtual clock.
 
-The engine owns a priority queue of ``(time_ns, seq, callback)`` entries.
-``seq`` is a monotonically increasing tiebreaker so that events scheduled
-for the same instant fire in scheduling order — this is what makes the
-whole simulation deterministic.
+The engine owns a priority queue of ``(time_ns, seq, callback, args)``
+entries. ``seq`` is a monotonically increasing tiebreaker so that events
+scheduled for the same instant fire in scheduling order — this is what
+makes the whole simulation deterministic. Carrying ``args`` in the queue
+entry lets awaitables schedule a bound method plus its arguments (a
+"slot" callback) instead of allocating a fresh closure per event — the
+``engine_slots`` fast path (see :mod:`repro.sim.fastpath`).
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.fastpath import FASTPATH
 
 #: Virtual time units per second. All engine times are integer nanoseconds.
 NS_PER_SEC = 1_000_000_000
@@ -45,7 +50,14 @@ class Timeout(Awaitable):
         self.value = value
 
     def subscribe(self, callback) -> None:
-        self.engine.call_at(self.engine.now + self.delay_ns, lambda: callback(self.value, None))
+        if FASTPATH.engine_slots:
+            self.engine.call_at(
+                self.engine.now + self.delay_ns, callback, self.value, None
+            )
+        else:
+            self.engine.call_at(
+                self.engine.now + self.delay_ns, lambda: callback(self.value, None)
+            )
 
 
 class Event(Awaitable):
@@ -82,7 +94,12 @@ class Event(Awaitable):
             # Resume on the next loop turn (still at the current instant) so
             # a yield on an already-triggered event never re-enters the
             # yielding process synchronously.
-            self.engine.call_at(self.engine.now, lambda: callback(self._value, self._exc))
+            if FASTPATH.engine_slots:
+                self.engine.call_at(self.engine.now, callback, self._value, self._exc)
+            else:
+                self.engine.call_at(
+                    self.engine.now, lambda: callback(self._value, self._exc)
+                )
         else:
             self._callbacks.append(callback)
 
@@ -93,8 +110,12 @@ class Event(Awaitable):
         self._done = True
         self._value = value
         callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self.engine.call_at(self.engine.now, lambda cb=cb: cb(value, None))
+        if FASTPATH.engine_slots:
+            for cb in callbacks:
+                self.engine.call_at(self.engine.now, cb, value, None)
+        else:
+            for cb in callbacks:
+                self.engine.call_at(self.engine.now, lambda cb=cb: cb(value, None))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -104,8 +125,12 @@ class Event(Awaitable):
         self._done = True
         self._exc = exc
         callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self.engine.call_at(self.engine.now, lambda cb=cb: cb(None, exc))
+        if FASTPATH.engine_slots:
+            for cb in callbacks:
+                self.engine.call_at(self.engine.now, cb, None, exc)
+        else:
+            for cb in callbacks:
+                self.engine.call_at(self.engine.now, lambda cb=cb: cb(None, exc))
         return self
 
 
@@ -201,17 +226,22 @@ class Engine:
 
     # -- scheduling ---------------------------------------------------------
 
-    def call_at(self, when_ns: int, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to run at absolute virtual time ``when_ns``."""
+    def call_at(self, when_ns: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute virtual time ``when_ns``.
+
+        Passing the arguments through the queue entry (instead of closing
+        over them) is what lets awaitables schedule bound methods without
+        allocating a lambda per event.
+        """
         when_ns = int(when_ns)
         if when_ns < self.now:
             raise SimError(f"cannot schedule at {when_ns} < now {self.now}")
-        heapq.heappush(self._queue, (when_ns, self._seq, callback))
+        heapq.heappush(self._queue, (when_ns, self._seq, callback, args))
         self._seq += 1
 
-    def call_after(self, delay_ns: int, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` ``delay_ns`` from now."""
-        self.call_at(self.now + int(delay_ns), callback)
+    def call_after(self, delay_ns: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` ``delay_ns`` from now."""
+        self.call_at(self.now + int(delay_ns), callback, *args)
 
     # -- awaitable factories ------------------------------------------------
 
@@ -261,26 +291,46 @@ class Engine:
         """Run the single next event. Returns False if the queue is empty."""
         if not self._queue:
             return False
-        when, _seq, callback = heapq.heappop(self._queue)
+        when, _seq, callback, args = heapq.heappop(self._queue)
         self.now = when
         if self.obs is None:
-            callback()
+            callback(*args)
         else:
-            self.obs.run_event(self, callback)
+            self.obs.run_event(self, callback, args)
         return True
 
     def run(self, until_ns: Optional[int] = None) -> None:
         """Run until the queue drains or virtual time reaches ``until_ns``.
 
         When ``until_ns`` is given and is reached, the clock is left exactly
-        at ``until_ns`` and any not-yet-due events stay queued.
+        at ``until_ns`` and any not-yet-due events stay queued. Events
+        scheduled *exactly at* ``until_ns`` do run.
         """
-        while self._queue:
-            when = self._queue[0][0]
-            if until_ns is not None and when > until_ns:
-                self.now = until_ns
-                return
-            self.step()
+        queue = self._queue
+        if self.obs is None and FASTPATH.engine_slots:
+            # Batched drain: identical semantics to the step() loop below,
+            # with the heap pop and dispatch inlined (no per-event method
+            # calls or observer checks).
+            pop = heapq.heappop
+            if until_ns is None:
+                while queue:
+                    when, _seq, callback, args = pop(queue)
+                    self.now = when
+                    callback(*args)
+            else:
+                while queue:
+                    if queue[0][0] > until_ns:
+                        self.now = until_ns
+                        return
+                    when, _seq, callback, args = pop(queue)
+                    self.now = when
+                    callback(*args)
+        else:
+            while queue:
+                if until_ns is not None and queue[0][0] > until_ns:
+                    self.now = until_ns
+                    return
+                self.step()
         if until_ns is not None and self.now < until_ns:
             self.now = until_ns
 

@@ -54,17 +54,9 @@ class Process(Awaitable):
         self.started_at = engine.now
         self.finished_at: Optional[int] = None
         # First step happens via the queue so spawn order == run order.
-        engine.call_at(engine.now, self._resumer(self._epoch, None, None))
+        engine.call_at(engine.now, self._step, self._epoch, None, None)
 
     # -- driving the generator ----------------------------------------------
-
-    def _resumer(self, epoch: int, value: Any, exc: Optional[BaseException]):
-        """A zero-arg callback bound to a specific suspension epoch."""
-
-        def resume():
-            self._step(epoch, value, exc)
-
-        return resume
 
     def _step(self, epoch: int, value: Any, exc: Optional[BaseException]) -> None:
         if self.finished or epoch != self._epoch:
@@ -101,7 +93,7 @@ class Process(Awaitable):
         self.engine._process_finished(self)
         waiters, self._waiters = self._waiters, []
         for cb in waiters:
-            self.engine.call_at(self.engine.now, lambda cb=cb: cb(result, exc))
+            self.engine.call_at(self.engine.now, cb, result, exc)
         if exc is not None and not waiters:
             # Nobody is joining this process: fail loudly instead of
             # swallowing the error. Raising from inside the event loop
@@ -127,9 +119,7 @@ class Process(Awaitable):
     def subscribe(self, callback) -> None:
         """Awaitable interface: resume ``callback`` when the process ends."""
         if self.finished:
-            self.engine.call_at(
-                self.engine.now, lambda: callback(self._result, self._exc)
-            )
+            self.engine.call_at(self.engine.now, callback, self._result, self._exc)
         else:
             self._waiters.append(callback)
 
@@ -143,6 +133,5 @@ class Process(Awaitable):
         if self.finished:
             return
         self.engine.call_at(
-            self.engine.now,
-            self._resumer(self._epoch, None, Interrupt(cause)),
+            self.engine.now, self._step, self._epoch, None, Interrupt(cause)
         )

@@ -31,10 +31,10 @@ class GuestPhysicalMemory:
         hpa = int(self.vmm.memmap.peek_translate_array(np.array([gpa_pfn]))[0])
         return self.host_mem.frame_view(hpa)
 
-    def map_region(self, gpa_pfns: np.ndarray) -> MappedRegion:
+    def map_region(self, gpa_pfns: np.ndarray, writable: bool = True) -> MappedRegion:
         """Host-backed MappedRegion for a guest PFN list."""
         hpa_pfns = self.vmm.memmap.peek_translate_array(gpa_pfns)
-        return self.host_mem.map_region(hpa_pfns)
+        return self.host_mem.map_region(hpa_pfns, writable=writable)
 
 
 class GuestLinuxKernel(LinuxKernel):

@@ -572,7 +572,9 @@ class XememModule:
             pfns = seg.proc.aspace.table.translate_range(
                 seg.vaddr + offset_pages * PAGE_SIZE, npages
             )
-            view = self.kernel.mem.map_region(pfns)
+            # SMARTMAP aliases the donor's own PTEs, so a read-only grant
+            # is enforced at the view layer, not in the page table.
+            view = self.kernel.mem.map_region(pfns, writable=grant.write)
             return AttachedRegion(
                 grant.apid, grant.segid, proc, vaddr, npages,
                 kind="smartmap", view=view, smartmap_donor=seg.proc,
@@ -583,9 +585,10 @@ class XememModule:
             core=self.kernel.node.core(proc.core_id),
         )
         region = yield from self.kernel.attach_local_lazy(
-            proc, pfns, name=f"xemem:{int(grant.segid):#x}"
+            proc, pfns, name=f"xemem:{int(grant.segid):#x}",
+            writable=grant.write,
         )
-        view = self.kernel.mem.map_region(pfns)
+        view = self.kernel.mem.map_region(pfns, writable=grant.write)
         return AttachedRegion(
             grant.apid, grant.segid, proc, region.start, npages,
             kind="linux-lazy", region=region, local_pfns=pfns, view=view,
@@ -612,8 +615,9 @@ class XememModule:
             proc, pfns, name=f"xemem:{int(grant.segid):#x}",
             core=self.kernel.node.core(proc.core_id),
             extra_per_page_ns=extra,
+            writable=grant.write,
         )
-        view = self.kernel.mem.map_region(pfns)
+        view = self.kernel.mem.map_region(pfns, writable=grant.write)
         return AttachedRegion(
             grant.apid, grant.segid, proc, region.start, npages,
             kind="remote", region=region, local_pfns=pfns, view=view,
@@ -762,7 +766,29 @@ class XememModule:
                 C.ENCLAVE_DEPART, self.my_id, None, req_id=self._next_req_id()
             )
         )
+        if force:
+            # Outstanding waiters (signal waits, in-flight requests) would
+            # otherwise hang forever against a departed enclave.
+            err = XememError(f"enclave {self.enclave.name!r} departed")
+            for cell in self._signal_state.values():
+                waiters, cell[1] = cell[1], []
+                for event in waiters:
+                    event.fail(err)
+            for pending in (self._pending, self._ping_pending):
+                events = list(pending.values())
+                pending.clear()
+                for event in events:
+                    event.fail(err)
+        # Drop *all* per-registration state, not just the segments: stale
+        # grants, attachment refcounts, and signal subscriptions must not
+        # survive into a later re-join of the same enclave.
         self.segments.clear()
+        self.grants.clear()
+        self._live_attachments.clear()
+        self._smartmap_refs.clear()
+        self._signal_subs.clear()
+        self._signal_state.clear()
+        self._apid_counter = itertools.count(1)
         self.routing.discovered = False
         return True
 

@@ -106,6 +106,39 @@ def test_multi_enclave_penalty_applies_only_with_system():
     assert slowed > base
 
 
+def test_multi_enclave_penalty_only_into_linux():
+    """The penalty models contended Linux-side core-0 dispatch, so it must
+    apply only to PFN lists flowing *into* the management enclave. Traffic
+    out to a co-kernel is handled on the co-kernel's own service core and
+    costs the same whether or not other enclaves are registered."""
+    def transfer_time(register_two, src_is_linux):
+        eng, node, pisces, linux, kittens = build(num_cokernels=2)
+        if register_two:
+            system = EnclaveSystem(node)
+            system.add_all(pisces.all_enclaves)
+        channel = pisces.channels[0]
+        kittens[0].set_receiver(lambda msg, ch: None)
+        linux.set_receiver(lambda msg, ch: None)
+        pfns = np.arange(50_000, dtype=np.int64)
+        src = linux if src_is_linux else kittens[0]
+
+        def send():
+            t0 = eng.now
+            yield from channel.send(src, KernelMessage("r", pfns=pfns))
+            return eng.now - t0
+
+        return eng.run_process(send())
+
+    # kitten -> linux: registering a second co-kernel slows marshalling
+    assert transfer_time(True, src_is_linux=False) > transfer_time(
+        False, src_is_linux=False
+    )
+    # linux -> kitten: cost is identical to the unregistered baseline
+    assert transfer_time(True, src_is_linux=True) == transfer_time(
+        False, src_is_linux=True
+    )
+
+
 def test_messages_without_pfns_send_single_ipi():
     eng, node, pisces, linux, kittens = build()
     channel = pisces.channels[0]

@@ -1,0 +1,86 @@
+"""Departure must not leak per-registration module state (stale grants,
+attachment refcounts, signal plumbing, apid counters)."""
+
+from repro.hw.costs import PAGE_4K
+from repro.xemem import XememError, XpmemApi
+
+from tests.xemem.conftest import build_system
+
+
+def test_shutdown_clears_all_module_state():
+    rig = build_system(num_cokernels=2)
+    eng, system = rig["engine"], rig["system"]
+    exporter, attacher = rig["cokernels"]
+    kp = exporter.kernel.create_process("exp")
+    ap = attacher.kernel.create_process("att")
+    heap = exporter.kernel.heap_region(kp)
+
+    def setup():
+        api_e, api_a = XpmemApi(kp), XpmemApi(ap)
+        segid = yield from api_e.xpmem_make(heap.start, 4 * PAGE_4K)
+        apid = yield from api_a.xpmem_get(segid)
+        att = yield from api_a.xpmem_attach(apid)
+        return att
+
+    eng.run_process(setup())
+    module = attacher.module
+    assert module.grants and module._live_attachments  # state exists to clear
+
+    system.shutdown_enclave(attacher, force=True)
+
+    assert module.segments == {}
+    assert module.grants == {}
+    assert module._live_attachments == {}
+    assert module._smartmap_refs == {}
+    assert module._signal_subs == {}
+    assert module._signal_state == {}
+    # apid minting restarts from 1 on a later re-join
+    assert next(module._apid_counter) == 1
+    assert not module.routing.discovered
+
+
+def test_forced_shutdown_fails_parked_signal_waiters():
+    rig = build_system(num_cokernels=1)
+    eng, system = rig["engine"], rig["system"]
+    kitten = rig["cokernels"][0]
+    kp = kitten.kernel.create_process("exp")
+    waiter_proc = kitten.kernel.create_process("waiter")
+    heap = kitten.kernel.heap_region(kp)
+
+    def export():
+        api = XpmemApi(kp)
+        return (yield from api.xpmem_make(heap.start, 4 * PAGE_4K))
+
+    segid = eng.run_process(export())
+
+    def waiter():
+        api = XpmemApi(waiter_proc)
+        try:
+            yield from api.xpmem_wait(segid)
+        except XememError as err:
+            return ("failed", str(err))
+        return "woken"
+
+    parked = eng.spawn(waiter())
+    eng.run()
+    assert not parked.finished  # still parked on the doorbell
+
+    system.shutdown_enclave(kitten, force=True)
+    eng.run()
+    outcome = parked.result
+    assert outcome[0] == "failed"
+    assert "departed" in outcome[1]
+    assert kitten.module._signal_state == {}
+
+
+def test_unforced_shutdown_leaves_no_waiter_behind_either():
+    """Without force, departure with no outstanding grants still clears
+    the signal plumbing (waiters of an empty cell simply disappear with
+    the enclave; nothing dangles into a re-join)."""
+    rig = build_system(num_cokernels=1)
+    eng, system = rig["engine"], rig["system"]
+    kitten = rig["cokernels"][0]
+    system.shutdown_enclave(kitten)
+    assert kitten.module._signal_state == {}
+    assert kitten.module.grants == {}
+    assert next(kitten.module._apid_counter) == 1
