@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench figures examples clean
+.PHONY: install test audit lint bench bench-compare figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+audit:
+	REPRO_AUDIT=1 $(PYTHON) -m pytest tests/
 
 lint:
 	ruff check src tests
@@ -21,6 +24,10 @@ bench:
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-compare:
+	$(PYTHON) -m pytest benchmarks/test_simulator_speed.py::test_speed_fastpath_1gib_attach_speedup -q
+	$(PYTHON) -m repro.obs.bench benchmarks/baselines/BENCH_speed.json benchmarks/results/BENCH_speed.json --tolerance 0.15
 
 figures:
 	$(PYTHON) -m repro all

@@ -1,0 +1,93 @@
+"""Observability overhead: tracing a run must stay cheap.
+
+The differential tests (``tests/obs/test_nonperturbation.py``) prove
+observability never changes *what* the simulation computes; this
+benchmark bounds what it costs in host wall clock. A Fig. 5-scale
+attach/touch/detach workload runs dark and then under full span tracing
++ metrics; the slowdown must stay under 25%, or the "default-off,
+cheap-when-on" contract of ``repro.obs`` is broken.
+
+Emits ``benchmarks/results/BENCH_obs_overhead.json`` for the
+``make bench-compare`` / CI regression gate.
+"""
+
+import json
+import pathlib
+import time
+
+from repro import obs
+from repro.bench.configs import build_cokernel_system
+from repro.hw.costs import GB, PAGE_4K
+from repro.xemem import XpmemApi
+
+
+def _fig5_scale_cycle_seconds(observed: bool, cycles: int, touches: int,
+                              npages: int) -> float:
+    """Wall time for the Fig. 5 shape (one standing 1 GiB export,
+    repeated attach/touch/detach), optionally under tracing+metrics."""
+
+    def measure() -> float:
+        rig = build_cokernel_system(num_cokernels=1)
+        eng = rig.engine
+        kitten = rig.cokernels[0].kernel
+        kitten.heap_pages = npages + 16
+        kp = kitten.create_process("exp")
+        lp = rig.linux.kernel.create_process("att", core_id=2)
+        heap = kitten.heap_region(kp)
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+
+        def setup():
+            segid = yield from api_k.xpmem_make(heap.start, npages * PAGE_4K)
+            apid = yield from api_l.xpmem_get(segid)
+            return apid
+
+        apid = eng.run_process(setup())
+        t0 = time.perf_counter()
+        for _ in range(cycles):
+            def run():
+                att = yield from api_l.xpmem_attach(apid)
+                for _ in range(touches):
+                    yield from rig.linux.kernel.touch_pages(
+                        lp, att.vaddr, npages, write=True
+                    )
+                yield from api_l.xpmem_detach(att)
+
+            eng.run_process(run())
+        return time.perf_counter() - t0
+
+    if observed:
+        with obs.observing(trace=True, metrics=True):
+            return measure()
+    return measure()
+
+
+def test_obs_overhead_under_25pct_at_fig5_scale():
+    npages = GB // PAGE_4K
+    cycles, touches = 3, 8
+    # best-of-2 per mode to shave scheduler noise
+    dark = min(
+        _fig5_scale_cycle_seconds(False, cycles, touches, npages)
+        for _ in range(2)
+    )
+    observed = min(
+        _fig5_scale_cycle_seconds(True, cycles, touches, npages)
+        for _ in range(2)
+    )
+    overhead_pct = (observed / dark - 1.0) * 100.0
+    results = pathlib.Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "BENCH_obs_overhead.json").write_text(json.dumps({
+        "benchmark": "fig5_scale_obs_overhead",
+        "attach_bytes": npages * PAGE_4K,
+        "npages": npages,
+        "cycles": cycles,
+        "touches_per_cycle": touches,
+        "dark_seconds": round(dark, 6),
+        "observed_seconds": round(observed, 6),
+        "overhead_pct": round(overhead_pct, 2),
+        "max_overhead_pct": 25.0,
+    }, indent=2) + "\n")
+    assert overhead_pct < 25.0, (
+        f"tracing+metrics cost {overhead_pct:.1f}% wall clock "
+        f"(dark={dark:.3f}s, observed={observed:.3f}s)"
+    )

@@ -11,7 +11,8 @@ Usage::
     python -m repro fig9 [--runs 3]
     python -m repro ablations [--reps 3]
     python -m repro all
-    python -m repro inspect trace.json
+    python -m repro inspect trace.json [--attribute]
+    python -m repro report trace.json
 
 Each command builds the experiment from scratch, runs it on the virtual
 clock, and prints the same rows/series the paper reports.
@@ -183,61 +184,45 @@ def _explain(args) -> str:
     return "\n\n".join(parts)
 
 
-def _load_trace(path: str) -> list:
-    """Read span records from a Chrome-trace or JSONL export.
+def _load_trace(path: str):
+    """Read a trace export via :mod:`repro.obs.analysis`, CLI-fatal on error."""
+    from repro.obs import analysis
 
-    Returns a list of dicts with ``name``/``track``/``dur_ns`` keys,
-    regardless of which format the file is in.
-    """
-    with open(path) as fp:
-        text = fp.read()
     try:
-        doc = json.loads(text)
-    except json.JSONDecodeError:
-        doc = None
-    if isinstance(doc, dict):  # Chrome trace format
-        events = doc.get("traceEvents", [])
-        threads = {
-            ev.get("tid"): ev.get("args", {}).get("name")
-            for ev in events
-            if ev.get("ph") == "M" and ev.get("name") == "thread_name"
-        }
-        return [
-            {
-                "name": ev["name"],
-                "track": threads.get(ev.get("tid"), str(ev.get("tid"))),
-                "dur_ns": int(round(ev.get("dur", 0) * 1000)),
-            }
-            for ev in events
-            if ev.get("ph") == "X"
-        ]
-    spans = [json.loads(line) for line in text.splitlines() if line.strip()]
-    for s in spans:  # JSONL records carry start/end, not a duration
-        if "dur_ns" not in s and s.get("end_ns") is not None:
-            s["dur_ns"] = s["end_ns"] - s.get("start_ns", 0)
-    return spans
+        return analysis.load_trace(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc.strerror}")
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(
+            f"{path} is not a Chrome-trace or JSONL export ({exc})"
+        )
+
+
+def _dropped_warning(trace, path: str) -> str:
+    return (
+        f"!! WARNING: {trace.dropped} spans were DROPPED by the ring cap "
+        f"while recording {path} — every summary below is computed from a "
+        "TRUNCATED trace. Re-record with a larger span buffer "
+        "(obs.observing(..., max_trace_events=...)) for full coverage.\n\n"
+    )
 
 
 def _inspect(args) -> str:
     """Summarize a trace export: spans per name and per track."""
     if not args.target:
         raise SystemExit("usage: python -m repro inspect <trace.json>")
-    try:
-        spans = _load_trace(args.target)
-    except OSError as exc:
-        raise SystemExit(f"inspect: cannot read {args.target}: {exc.strerror}")
-    except json.JSONDecodeError as exc:
-        raise SystemExit(
-            f"inspect: {args.target} is not a Chrome-trace or JSONL export ({exc})"
-        )
+    trace = _load_trace(args.target)
+    spans = trace.spans
     if not spans:
         return f"{args.target}: no spans recorded"
 
+    warning = _dropped_warning(trace, args.target) if trace.dropped else ""
+
     by_name: dict = {}
     for s in spans:
-        agg = by_name.setdefault(s["name"], [0, 0, 0])
+        agg = by_name.setdefault(s.name, [0, 0, 0])
         agg[0] += 1
-        dur = s.get("dur_ns") or 0
+        dur = s.duration_ns
         agg[1] += dur
         agg[2] = max(agg[2], dur)
     name_rows = [
@@ -254,16 +239,38 @@ def _inspect(args) -> str:
 
     by_track: dict = {}
     for s in spans:
-        agg = by_track.setdefault(s.get("track", "main"), [0, 0])
+        agg = by_track.setdefault(s.track, [0, 0])
         agg[0] += 1
-        agg[1] += s.get("dur_ns") or 0
+        agg[1] += s.duration_ns
     track_rows = [
         (track, n, f"{total / 1e6:.3f}")
         for track, (n, total) in sorted(by_track.items(), key=lambda kv: -kv[1][1])
     ]
     part2 = render_table(["track", "spans", "total ms"], track_rows,
                          title="per track (virtual time):")
-    return part1 + "\n\n" + part2
+    out = warning + part1 + "\n\n" + part2
+    if getattr(args, "attribute", False):
+        from repro.obs import analysis
+
+        out += "\n\n" + analysis.render_report(
+            analysis.attribute(trace), source=args.target
+        )
+    return out
+
+
+def _report(args) -> str:
+    """Table-2-style per-subsystem cost breakdown of a trace file."""
+    if not args.target:
+        raise SystemExit("usage: python -m repro report <trace.json>")
+    from repro.obs import analysis
+
+    trace = _load_trace(args.target)
+    if not trace.spans:
+        return f"{args.target}: no spans recorded"
+    warning = _dropped_warning(trace, args.target) if trace.dropped else ""
+    return warning + analysis.render_report(
+        analysis.attribute(trace), source=args.target
+    )
 
 
 def _render_profile(engine_obs) -> str:
@@ -300,9 +307,12 @@ def main(argv=None) -> int:
         description="Regenerate the XEMEM paper's evaluation figures.",
     )
     parser.add_argument("command",
-                        choices=sorted(COMMANDS) + ["all", "inspect", "list"])
+                        choices=sorted(COMMANDS) + ["all", "inspect", "list",
+                                                    "report"])
     parser.add_argument("target", nargs="?",
-                        help="trace file for the 'inspect' command")
+                        help="trace file for the 'inspect'/'report' commands")
+    parser.add_argument("--attribute", action="store_true",
+                        help="inspect: add the per-subsystem cost attribution")
     parser.add_argument("--reps", type=int, default=5,
                         help="attachments per measurement (paper: 500)")
     parser.add_argument("--runs", type=int, default=3,
@@ -328,6 +338,9 @@ def main(argv=None) -> int:
         return 0
     if args.command == "inspect":
         print(_inspect(args))
+        return 0
+    if args.command == "report":
+        print(_report(args))
         return 0
 
     want_metrics = args.metrics or bool(args.metrics_out)

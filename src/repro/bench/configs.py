@@ -21,6 +21,7 @@ from repro.enclave import EnclaveSystem
 from repro.hw import NodeHardware, OPTIPLEX_SPEC, R420_SPEC
 from repro.hw.costs import GB, MB
 from repro.kernels.noise import attach_noise_profile
+from repro.obs import audit
 from repro.pisces import PiscesManager
 from repro.sim import Engine
 from repro.workloads.insitu import InSituConfig, InSituWorkload
@@ -39,6 +40,9 @@ class CokernelRig:
     cokernels: list
     vm: Optional[object]
     modules: dict
+    #: The invariant-audit hook, when ``REPRO_AUDIT=1`` (or an explicit
+    #: ``with_audit=True``) enabled it; None otherwise.
+    auditor: Optional[object] = None
 
 
 def build_cokernel_system(
@@ -53,6 +57,7 @@ def build_cokernel_system(
     with_noise: bool = False,
     seed: int = 0,
     costs=None,
+    with_audit: Optional[bool] = None,
 ) -> CokernelRig:
     """The §5 rig: Linux (name server) + N Kitten co-kernels (+ a VM).
 
@@ -60,6 +65,11 @@ def build_cokernel_system(
     one socket-1 core and its own zone-1 partition, exactly the paper's
     one-core/1.5 GB shape for Fig. 6. Pass ``costs`` to run the whole rig
     under a modified cost model (sensitivity studies).
+
+    ``with_audit`` installs the runtime invariant auditor
+    (:mod:`repro.obs.audit`) on the rig's engine; the default defers to
+    the ``REPRO_AUDIT`` environment switch, so ``REPRO_AUDIT=1 pytest``
+    audits every rig-based test without code changes.
     """
     eng = Engine()
     node = NodeHardware(eng, R420_SPEC, costs=costs)
@@ -92,10 +102,13 @@ def build_cokernel_system(
     if with_noise:
         for enclave in system.enclaves:
             attach_noise_profile(enclave.kernel, seed=seed)
-    return CokernelRig(
+    rig = CokernelRig(
         engine=eng, node=node, pisces=pisces, system=system,
         linux=linux, cokernels=cokernels, vm=vm, modules=modules,
     )
+    if with_audit or (with_audit is None and audit.env_enabled()):
+        rig.auditor = audit.install(rig)
+    return rig
 
 
 #: Table 3's four single-node configurations.

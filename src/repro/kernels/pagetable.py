@@ -485,6 +485,35 @@ class PageTable:
         """Number of present PTEs in this table's own tree."""
         return self._present
 
+    def walk_cache_entries(self) -> List[Tuple[int, int, int, np.ndarray]]:
+        """Snapshot of the walk cache: (vaddr, npages, generation, pfns).
+
+        Audit tap — returns copies, never mutates the cache or the
+        counters, so reading it cannot perturb a run.
+        """
+        return [
+            (vaddr, npages, gen, pfns.copy())
+            for (vaddr, npages), (gen, pfns) in self._walk_cache.items()
+        ]
+
+    def present_pfns(self) -> np.ndarray:
+        """Sorted PFNs of every present PTE in this table's own tree.
+
+        Audit tap for frame-ownership checks (slow; walks every leaf).
+        Borrowed SMARTMAP slots are excluded — those frames belong to the
+        donor's tree.
+        """
+        chunks = []
+        for pdpt in self.pml4.values():
+            for pd in pdpt.values():
+                for leaf in pd.values():
+                    present = leaf[(leaf & PTE_PRESENT) != 0]
+                    if len(present):
+                        chunks.append(present >> PAGE_SHIFT)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(chunks))
+
     def mapped_vaddrs(self) -> List[int]:
         """All mapped page-aligned vaddrs in this table's own tree (slow; tests)."""
         out = []

@@ -10,6 +10,16 @@ Three pieces, all default-off and zero-cost when disabled:
   events, sampling queue depth, accounting process virtual runtimes,
   and (optionally) profiling simulator hot paths by host wallclock.
 
+On top of those sit the analysis layers:
+
+* :mod:`repro.obs.analysis` — span-tree reconstruction and per-subsystem
+  cost attribution over exported traces (``python -m repro report``);
+* :mod:`repro.obs.audit` — the default-off runtime invariant auditor
+  (``REPRO_AUDIT=1``), raising :class:`~repro.obs.audit.AuditViolation`
+  with span context when simulated kernel state drifts;
+* :mod:`repro.obs.bench` — the ``BENCH_*.json`` regression comparator
+  behind ``make bench-compare`` and the CI perf gate.
+
 Usage from instrumentation sites::
 
     from repro import obs
@@ -27,12 +37,16 @@ Usage from drivers (the CLI does exactly this)::
     print(ctx.metrics.to_json())
 """
 
+from repro.obs import analysis, audit
+from repro.obs.audit import Auditor, AuditViolation
 from repro.obs.context import ObsContext, get, install, observing, reset
 from repro.obs.engine_hooks import EngineObserver
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import RingBuffer, Span, Tracer
 
 __all__ = [
+    "AuditViolation",
+    "Auditor",
     "Counter",
     "EngineObserver",
     "Gauge",
@@ -42,6 +56,8 @@ __all__ = [
     "RingBuffer",
     "Span",
     "Tracer",
+    "analysis",
+    "audit",
     "get",
     "install",
     "observing",

@@ -1,0 +1,411 @@
+"""Post-hoc cost attribution over exported span traces.
+
+The tracer (:mod:`repro.obs.tracer`) records *what happened*; this module
+answers *where the time went*. It reconstructs the span tree of each
+logical operation (``xemem.make`` / ``xemem.attach`` / channel round
+trips / demand faults) from a Chrome-trace or JSONL export — or straight
+from a live :class:`~repro.obs.tracer.Tracer` — and computes:
+
+* **exclusive time** per span: duration minus the union of child
+  intervals clipped to the parent, so nothing is double-counted;
+* **per-subsystem breakdowns** (pagetable walk / map install / channel
+  marshalling / IPI rounds / NIC / xemem bookkeeping / noise), the
+  Table-2-style decomposition the paper's evaluation hinges on;
+* **critical paths**: the longest root-to-leaf chain of each operation.
+
+``pisces.transfer`` spans carry a ``marshal_ns`` attribute (closed-form
+per-PFN copy time); attribution splits the span's exclusive time into
+``channel`` (marshalling) and ``ipi`` (handler rounds) with it, so the
+IPI share is visible even though per-round IPIs record no spans of their
+own (keeping fast/slow trace parity).
+
+Everything here is pure post-processing: loading or attributing a trace
+never touches simulation state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+#: Attribution bucket names, in report order.
+SUBSYSTEMS = (
+    "pagetable",
+    "map_install",
+    "channel",
+    "ipi",
+    "nic",
+    "xemem",
+    "noise",
+    "other",
+)
+
+#: span-name prefix -> subsystem bucket (first match wins, longest first).
+_PREFIX_RULES: Tuple[Tuple[str, str], ...] = (
+    ("kernel.pagetable", "pagetable"),
+    ("kernel.map_remote", "map_install"),
+    ("linux.map_remote", "map_install"),
+    ("kernel.fault", "map_install"),
+    ("pisces.transfer", "channel"),  # split channel/ipi via marshal_ns
+    ("pisces", "channel"),
+    ("nic.", "nic"),
+    ("cluster.rdma", "nic"),
+    ("xemem", "xemem"),
+    ("noise", "noise"),
+    ("smi", "noise"),
+    ("detour", "noise"),
+)
+
+
+def subsystem_of(name: str) -> str:
+    """Map a span name onto its attribution bucket."""
+    for prefix, bucket in _PREFIX_RULES:
+        if name.startswith(prefix):
+            return bucket
+    return "other"
+
+
+@dataclass
+class SpanNode:
+    """One span in a reconstructed tree."""
+
+    span_id: Optional[int]
+    parent_id: Optional[int]
+    name: str
+    track: str
+    start_ns: int
+    end_ns: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class TraceData:
+    """A loaded trace: every span plus the reconstructed forest."""
+
+    spans: List[SpanNode]
+    roots: List[SpanNode]
+    dropped: int = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def _link(spans: List[SpanNode]) -> List[SpanNode]:
+    """Attach children to parents; return the parentless roots."""
+    by_id = {s.span_id: s for s in spans if s.span_id is not None}
+    roots: List[SpanNode] = []
+    for s in spans:
+        parent = by_id.get(s.parent_id) if s.parent_id is not None else None
+        if parent is not None and parent is not s:
+            parent.children.append(s)
+        else:
+            roots.append(s)
+    for s in spans:
+        s.children.sort(key=lambda c: (c.start_ns, c.span_id or 0))
+    return roots
+
+
+def from_tracer(tracer) -> TraceData:
+    """Build a :class:`TraceData` straight from a live tracer."""
+    spans = [
+        SpanNode(
+            span_id=s.span_id,
+            parent_id=s.parent_id,
+            name=s.name,
+            track=s.track,
+            start_ns=s.start_ns,
+            end_ns=s.end_ns if s.end_ns is not None else s.start_ns,
+            attrs=dict(s.attrs),
+        )
+        for s in tracer.spans
+    ]
+    return TraceData(spans=spans, roots=_link(spans), dropped=tracer.dropped)
+
+
+def load_trace(path: Union[str, IO[str]]) -> TraceData:
+    """Read a Chrome-trace or JSONL export into a span forest.
+
+    Chrome exports carry span identity in each event's ``args``
+    (``span_id``/``parent_id``); traces from before that scheme still
+    load, they just come back as a flat forest of roots.
+    """
+    if isinstance(path, str):
+        with open(path) as fp:
+            text = fp.read()
+    else:
+        text = path.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):  # Chrome trace format
+        return _load_chrome(doc)
+    return _load_jsonl(text)
+
+
+def _load_chrome(doc: dict) -> TraceData:
+    events = doc.get("traceEvents", [])
+    threads = {
+        ev.get("tid"): ev.get("args", {}).get("name")
+        for ev in events
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name"
+    }
+    spans: List[SpanNode] = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        args = dict(ev.get("args") or {})
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        start_ns = int(round(ev.get("ts", 0) * 1000))
+        spans.append(
+            SpanNode(
+                span_id=span_id,
+                parent_id=parent_id,
+                name=ev["name"],
+                track=threads.get(ev.get("tid"), str(ev.get("tid"))),
+                start_ns=start_ns,
+                end_ns=start_ns + int(round(ev.get("dur", 0) * 1000)),
+                attrs=args,
+            )
+        )
+    dropped = int(doc.get("otherData", {}).get("dropped_spans", 0) or 0)
+    return TraceData(spans=spans, roots=_link(spans), dropped=dropped)
+
+
+def _load_jsonl(text: str) -> TraceData:
+    spans: List[SpanNode] = []
+    dropped = 0
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        if "meta" in rec:  # trailing drop-count record
+            dropped = int(rec["meta"].get("dropped", 0))
+            continue
+        start = int(rec.get("start_ns", 0))
+        end = rec.get("end_ns")
+        spans.append(
+            SpanNode(
+                span_id=rec.get("id"),
+                parent_id=rec.get("parent"),
+                name=rec["name"],
+                track=rec.get("track", "main"),
+                start_ns=start,
+                end_ns=int(end) if end is not None else start,
+                attrs=dict(rec.get("attrs") or {}),
+            )
+        )
+    return TraceData(spans=spans, roots=_link(spans), dropped=dropped)
+
+
+# -- attribution ---------------------------------------------------------------
+
+
+def _child_union_ns(node: SpanNode) -> int:
+    """Total time covered by children, clipped to the parent, overlaps
+    merged — the amount of ``node``'s duration that is *not* exclusive."""
+    intervals = []
+    for c in node.children:
+        lo = max(c.start_ns, node.start_ns)
+        hi = min(c.end_ns, node.end_ns)
+        if hi > lo:
+            intervals.append((lo, hi))
+    if not intervals:
+        return 0
+    intervals.sort()
+    covered = 0
+    cur_lo, cur_hi = intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo > cur_hi:
+            covered += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        else:
+            cur_hi = max(cur_hi, hi)
+    covered += cur_hi - cur_lo
+    return covered
+
+
+def exclusive_ns(node: SpanNode) -> int:
+    """Span duration not covered by any child (self time)."""
+    return max(node.duration_ns - _child_union_ns(node), 0)
+
+
+def _split_buckets(node: SpanNode) -> Dict[str, int]:
+    """Exclusive time of one span, split across subsystem buckets."""
+    excl = exclusive_ns(node)
+    bucket = subsystem_of(node.name)
+    if node.name == "pisces.transfer":
+        marshal = int(node.attrs.get("marshal_ns", 0) or 0)
+        copy = min(marshal, excl)
+        return {"channel": copy, "ipi": excl - copy}
+    return {bucket: excl}
+
+
+@dataclass
+class OperationBreakdown:
+    """Attribution for one class of root operation (e.g. ``xemem.attach``)."""
+
+    name: str
+    count: int
+    total_ns: int
+    by_subsystem: Dict[str, int]
+    critical_path: List[Tuple[str, int]]  # (span name, inclusive ns)
+
+    @property
+    def attributed_ns(self) -> int:
+        return sum(self.by_subsystem.values())
+
+
+@dataclass
+class Attribution:
+    """Whole-trace attribution summary."""
+
+    operations: List[OperationBreakdown]
+    by_subsystem: Dict[str, int]
+    total_ns: int
+    dropped: int = 0
+
+    @property
+    def attributed_ns(self) -> int:
+        return sum(self.by_subsystem.values())
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of root span time the buckets account for."""
+        if self.total_ns == 0:
+            return 1.0
+        return self.attributed_ns / self.total_ns
+
+
+def _walk_buckets(node: SpanNode, acc: Dict[str, int]) -> None:
+    for bucket, ns in _split_buckets(node).items():
+        if ns:
+            acc[bucket] = acc.get(bucket, 0) + ns
+    for child in node.children:
+        _walk_buckets(child, acc)
+
+
+def critical_path(root: SpanNode) -> List[Tuple[str, int]]:
+    """Longest-child chain from the root down (name, inclusive ns)."""
+    path = []
+    node = root
+    while node is not None:
+        path.append((node.name, node.duration_ns))
+        node = max(node.children, key=lambda c: c.duration_ns, default=None)
+    return path
+
+
+def attribute(trace: TraceData) -> Attribution:
+    """Per-operation and per-subsystem cost attribution for a trace."""
+    ops: Dict[str, Dict[str, Any]] = {}
+    total_by_subsystem: Dict[str, int] = {}
+    total_ns = 0
+    best_root: Dict[str, SpanNode] = {}
+    for root in trace.roots:
+        if root.duration_ns == 0 and not root.children:
+            # Instant events (noise detours, msg markers) carry no time.
+            continue
+        total_ns += root.duration_ns
+        buckets: Dict[str, int] = {}
+        _walk_buckets(root, buckets)
+        agg = ops.setdefault(
+            root.name, {"count": 0, "total_ns": 0, "by_subsystem": {}}
+        )
+        agg["count"] += 1
+        agg["total_ns"] += root.duration_ns
+        for bucket, ns in buckets.items():
+            agg["by_subsystem"][bucket] = agg["by_subsystem"].get(bucket, 0) + ns
+            total_by_subsystem[bucket] = total_by_subsystem.get(bucket, 0) + ns
+        prev = best_root.get(root.name)
+        if prev is None or root.duration_ns > prev.duration_ns:
+            best_root[root.name] = root
+    operations = [
+        OperationBreakdown(
+            name=name,
+            count=agg["count"],
+            total_ns=agg["total_ns"],
+            by_subsystem=dict(
+                sorted(agg["by_subsystem"].items(), key=lambda kv: -kv[1])
+            ),
+            critical_path=critical_path(best_root[name]),
+        )
+        for name, agg in sorted(
+            ops.items(), key=lambda kv: -kv[1]["total_ns"]
+        )
+    ]
+    return Attribution(
+        operations=operations,
+        by_subsystem=dict(
+            sorted(total_by_subsystem.items(), key=lambda kv: -kv[1])
+        ),
+        total_ns=total_ns,
+        dropped=trace.dropped,
+    )
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _pct(part: int, whole: int) -> str:
+    return f"{100.0 * part / whole:.1f}%" if whole else "-"
+
+
+def render_report(attribution: Attribution, source: str = "trace") -> str:
+    """Table-2-style plain-text breakdown of an attribution."""
+    from repro.bench.report import render_table
+
+    parts: List[str] = []
+    if attribution.dropped:
+        parts.append(
+            f"WARNING: {attribution.dropped} spans were dropped by the ring "
+            "cap — this breakdown summarizes a TRUNCATED trace. Re-record "
+            "with a larger --trace buffer (max_trace_events) for full "
+            "attribution."
+        )
+    total = attribution.total_ns
+    rows = [
+        (bucket, f"{ns / 1e6:.3f}", _pct(ns, total))
+        for bucket, ns in attribution.by_subsystem.items()
+    ]
+    rows.append(("TOTAL (attributed)",
+                 f"{attribution.attributed_ns / 1e6:.3f}",
+                 _pct(attribution.attributed_ns, total)))
+    parts.append(
+        render_table(
+            ["subsystem", "virtual ms", "share"],
+            rows,
+            title=(
+                f"{source}: per-subsystem cost attribution "
+                f"({total / 1e6:.3f} ms across "
+                f"{sum(op.count for op in attribution.operations)} operations, "
+                f"coverage {attribution.coverage * 100:.1f}%)"
+            ),
+        )
+    )
+    for op in attribution.operations:
+        op_rows = [
+            (bucket, f"{ns / 1e6:.3f}", _pct(ns, op.total_ns))
+            for bucket, ns in op.by_subsystem.items()
+        ]
+        parts.append(
+            render_table(
+                ["subsystem", "virtual ms", "share"],
+                op_rows,
+                title=(
+                    f"{op.name} x{op.count}: {op.total_ns / 1e6:.3f} ms "
+                    f"(mean {op.total_ns / op.count / 1e3:.1f} us)"
+                ),
+            )
+        )
+        chain = " -> ".join(
+            f"{name} ({ns / 1e3:.1f}us)" for name, ns in op.critical_path
+        )
+        parts.append(f"  critical path: {chain}")
+    return "\n\n".join(parts)

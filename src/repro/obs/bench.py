@@ -1,0 +1,198 @@
+"""Perf-regression gating over ``BENCH_*.json`` artifacts.
+
+Benchmarks (``benchmarks/``) emit flat JSON result files — wall-clock
+seconds, speedups, per-phase attribution. This module diffs a current
+result file against a committed baseline with configurable tolerances,
+so CI can fail a build on a real regression instead of someone noticing
+a slower Fig. 5 run three PRs later.
+
+Direction is inferred from the metric name: ``*_seconds``/``*_ns``/
+``*overhead*`` regress when they grow; ``speedup``/``*gib_s``/
+``*throughput*`` regress when they shrink. Configuration-identity keys
+(page counts, cycle counts, benchmark names) must match exactly —
+comparing runs of different shapes is an error, not a pass.
+
+CLI (wired into ``make bench-compare`` and the CI gate)::
+
+    python -m repro.obs.bench baseline.json current.json [--tolerance 0.15]
+
+Exit status 1 on any regression beyond tolerance (default 15%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Name fragments marking a metric where LOWER is better.
+_LOWER_BETTER = ("_seconds", "_ns", "_ms", "overhead", "latency")
+#: Name fragments marking a metric where HIGHER is better.
+_HIGHER_BETTER = ("speedup", "gib_s", "gb_s", "throughput", "rate")
+
+
+def direction_of(key: str) -> Optional[str]:
+    """``"lower"``/``"higher"`` for perf metrics, None for identity keys."""
+    lowered = key.lower()
+    if any(frag in lowered for frag in _HIGHER_BETTER):
+        return "higher"
+    if any(frag in lowered for frag in _LOWER_BETTER):
+        return "lower"
+    return None
+
+
+@dataclass
+class Delta:
+    """One compared metric."""
+
+    key: str
+    baseline: float
+    current: float
+    ratio: float       # current / baseline
+    direction: str     # "lower" | "higher"
+    regressed: bool
+
+    @property
+    def change_pct(self) -> float:
+        return (self.ratio - 1.0) * 100.0
+
+
+@dataclass
+class Comparison:
+    """The full diff of two benchmark result files."""
+
+    deltas: List[Delta]
+    mismatched: List[Tuple[str, object, object]]  # identity keys that differ
+    missing: List[str]                            # keys absent from current
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.mismatched and not self.missing
+
+
+def compare(baseline: Dict, current: Dict, tolerance: float = 0.15,
+            tolerances: Optional[Dict[str, float]] = None) -> Comparison:
+    """Diff two flat benchmark dicts.
+
+    ``tolerance`` is the default allowed relative change in the *bad*
+    direction; ``tolerances`` overrides it per key. Non-numeric and
+    direction-less numeric keys (npages, cycles, benchmark name) are
+    identity keys and must be equal.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    tolerances = tolerances or {}
+    deltas: List[Delta] = []
+    mismatched: List[Tuple[str, object, object]] = []
+    missing: List[str] = []
+    for key in sorted(baseline):
+        base_val = baseline[key]
+        if key not in current:
+            missing.append(key)
+            continue
+        cur_val = current[key]
+        direction = direction_of(key) if isinstance(base_val, (int, float)) \
+            and not isinstance(base_val, bool) else None
+        if direction is None:
+            if base_val != cur_val:
+                mismatched.append((key, base_val, cur_val))
+            continue
+        base_f, cur_f = float(base_val), float(cur_val)
+        if base_f == 0:
+            ratio = 1.0 if cur_f == 0 else float("inf")
+        else:
+            ratio = cur_f / base_f
+        allowed = tolerances.get(key, tolerance)
+        if direction == "lower":
+            regressed = ratio > 1.0 + allowed
+        else:
+            regressed = ratio < 1.0 - allowed
+        deltas.append(
+            Delta(key=key, baseline=base_f, current=cur_f, ratio=ratio,
+                  direction=direction, regressed=regressed)
+        )
+    return Comparison(deltas=deltas, mismatched=mismatched, missing=missing)
+
+
+def compare_files(baseline_path: str, current_path: str,
+                  tolerance: float = 0.15,
+                  tolerances: Optional[Dict[str, float]] = None) -> Comparison:
+    """File-path wrapper around :func:`compare`."""
+    with open(baseline_path) as fp:
+        baseline = json.load(fp)
+    with open(current_path) as fp:
+        current = json.load(fp)
+    return compare(baseline, current, tolerance=tolerance,
+                   tolerances=tolerances)
+
+
+def render(comparison: Comparison, tolerance: float) -> str:
+    """Human-readable diff table plus a verdict line."""
+    from repro.bench.report import render_table
+
+    rows = [
+        (
+            d.key,
+            f"{d.baseline:.4g}",
+            f"{d.current:.4g}",
+            f"{d.change_pct:+.1f}%",
+            d.direction,
+            "REGRESSED" if d.regressed else "ok",
+        )
+        for d in comparison.deltas
+    ]
+    parts = [
+        render_table(
+            ["metric", "baseline", "current", "change", "better", "verdict"],
+            rows,
+            title=f"benchmark comparison (tolerance {tolerance * 100:.0f}%):",
+        )
+    ]
+    for key, base_val, cur_val in comparison.mismatched:
+        parts.append(
+            f"MISMATCH: {key}: baseline ran {base_val!r}, current ran "
+            f"{cur_val!r} — not the same benchmark shape"
+        )
+    for key in comparison.missing:
+        parts.append(f"MISSING: {key} absent from the current results")
+    if comparison.ok:
+        parts.append("PASS: no regression beyond tolerance")
+    else:
+        parts.append(
+            f"FAIL: {len(comparison.regressions)} regression(s), "
+            f"{len(comparison.mismatched)} mismatch(es), "
+            f"{len(comparison.missing)} missing key(s)"
+        )
+    return "\n".join(parts)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; exit 1 on regression/mismatch."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Gate BENCH_*.json results against a baseline.",
+    )
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative change (default 0.15 = 15%%)")
+    args = parser.parse_args(argv)
+    try:
+        comparison = compare_files(args.baseline, args.current,
+                                   tolerance=args.tolerance)
+    except OSError as exc:
+        raise SystemExit(f"bench-compare: cannot read {exc.filename}: "
+                         f"{exc.strerror}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"bench-compare: invalid JSON ({exc})")
+    print(render(comparison, args.tolerance))
+    return 0 if comparison.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

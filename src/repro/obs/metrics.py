@@ -49,6 +49,10 @@ class Counter:
             raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
         self.value += n
 
+    def reset(self) -> None:
+        """Zero the counter (used by :meth:`MetricsRegistry.clear`)."""
+        self.value = 0
+
 
 class Gauge:
     """Last-write-wins named value."""
@@ -62,6 +66,10 @@ class Gauge:
     def set(self, value: float) -> None:
         """Record the current level."""
         self.value = value
+
+    def reset(self) -> None:
+        """Zero the gauge (used by :meth:`MetricsRegistry.clear`)."""
+        self.value = 0.0
 
 
 class Histogram:
@@ -88,6 +96,40 @@ class Histogram:
     def count(self) -> int:
         """Total observations."""
         return self.stats.count
+
+    def reset(self) -> None:
+        """Forget every observation (used by :meth:`MetricsRegistry.clear`)."""
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.stats = SeriesStats()
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate in ``[0, 1]``.
+
+        Linear interpolation inside the bucket holding the q-th sample
+        (Prometheus ``histogram_quantile`` style), clamped to the exact
+        observed ``[min, max]`` so the estimate never leaves the data's
+        range; the overflow bucket interpolates toward the observed max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        n = self.stats.count
+        if n == 0:
+            return 0.0
+        rank = q * n
+        cum = 0
+        for i, count in enumerate(self.bucket_counts):
+            if count == 0:
+                continue
+            if cum + count >= rank:
+                lo = self.bounds[i - 1] if i > 0 else min(self.stats.min, self.bounds[0])
+                hi = self.bounds[i] if i < len(self.bounds) else self.stats.max
+                if hi < lo:
+                    hi = lo
+                frac = (rank - cum) / count
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.stats.min), self.stats.max)
+            cum += count
+        return self.stats.max
 
 
 class _NullMetric:
@@ -156,8 +198,11 @@ class MetricsRegistry:
         """Name-sorted dict of every metric's current value.
 
         Counters and gauges map to their scalar value; histograms map to
-        ``{count, mean, min, max, stdev, buckets}`` where ``buckets``
-        maps each upper bound (and ``"+inf"``) to its bucket count.
+        ``{count, mean, min, max, stdev, p50, p95, p99, buckets}`` where
+        ``buckets`` maps each upper bound (and ``"+inf"``) to its bucket
+        count and the percentiles are bucket-interpolated estimates
+        (exact min/max come from the streaming summary), so snapshots
+        from different runs are directly comparable.
         """
         out: Dict[str, object] = {}
         for name in self.names():
@@ -169,6 +214,9 @@ class MetricsRegistry:
                 }
                 buckets["+inf"] = metric.bucket_counts[-1]
                 summary = metric.stats.summary()
+                summary["p50"] = metric.quantile(0.50)
+                summary["p95"] = metric.quantile(0.95)
+                summary["p99"] = metric.quantile(0.99)
                 summary["buckets"] = buckets
                 out[name] = summary
             else:
@@ -186,7 +234,20 @@ class MetricsRegistry:
         return text
 
     def clear(self) -> None:
-        """Drop every registered metric."""
+        """Reset every registered metric to zero, **in place**.
+
+        Metric objects handed out by :meth:`counter`/:meth:`gauge`/
+        :meth:`histogram` stay registered and keep feeding the registry
+        after a clear — instrumentation sites that cached a reference are
+        never silently orphaned. (Previously this dropped the registry
+        dict, so cached references kept counting into objects no snapshot
+        would ever see.) Use :meth:`drop_all` for the old behaviour.
+        """
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def drop_all(self) -> None:
+        """Forget every metric entirely (cached references detach)."""
         self._metrics.clear()
 
     def __len__(self) -> int:

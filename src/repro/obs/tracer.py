@@ -118,6 +118,7 @@ class _OpenSpan:
 
     def __enter__(self):
         self.tracer._stack.append(self.span.span_id)
+        self.tracer._open[self.span.span_id] = self.span
         return self
 
     def __exit__(self, *exc):
@@ -125,6 +126,7 @@ class _OpenSpan:
         stack = self.tracer._stack
         if stack and stack[-1] == self.span.span_id:
             stack.pop()
+        self.tracer._open.pop(self.span.span_id, None)
         self.tracer._record(self.span)
         return False
 
@@ -139,6 +141,9 @@ class Tracer:
         #: Open-span id stack for parent attribution of lexically nested
         #: spans (spans opened and closed within one process step chain).
         self._stack: List[int] = []
+        #: Spans entered but not yet exited, by id — the auditor attaches
+        #: these as "what was in flight" context on a violation.
+        self._open: Dict[int, Span] = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -198,6 +203,15 @@ class Tracer:
         """All recorded spans with the given name."""
         return [s for s in self._buf if s.name == name]
 
+    def open_spans(self) -> List[Span]:
+        """Spans entered but not yet exited, oldest first."""
+        return sorted(self._open.values(), key=lambda s: s.span_id)
+
+    def recent(self, n: int = 8) -> List[Span]:
+        """The ``n`` most recently completed spans, oldest first."""
+        items = list(self._buf)
+        return items[-n:]
+
     def tracks(self) -> List[str]:
         """Distinct track names in first-appearance order."""
         seen: Dict[str, None] = {}
@@ -209,6 +223,7 @@ class Tracer:
         """Forget every recorded span."""
         self._buf.clear()
         self._stack.clear()
+        self._open.clear()
 
     def __len__(self) -> int:
         return len(self._buf)
@@ -264,8 +279,13 @@ class Tracer:
                 "dur": (end_ns - span.start_ns) / 1000.0,
             }
             args = self._json_attrs(span)
-            if args:
-                event["args"] = args
+            # Span identity rides in args so trees survive the Chrome
+            # round trip (repro.obs.analysis rebuilds parent/child links
+            # from these; Perfetto just shows them as extra attributes).
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            event["args"] = args
             events.append(event)
         return events
 
@@ -284,7 +304,12 @@ class Tracer:
             fp.write(text)
 
     def to_jsonl(self, fp: Union[str, IO[str]]) -> None:
-        """Write one JSON object per span (deterministic bytes)."""
+        """Write one JSON object per span (deterministic bytes).
+
+        If the ring cap evicted spans, a trailing ``{"meta": ...}`` line
+        records the drop count so downstream analysis can warn instead of
+        silently summarizing a truncated trace.
+        """
         lines = []
         for span in self._buf:
             lines.append(
@@ -298,6 +323,14 @@ class Tracer:
                         "end_ns": span.end_ns,
                         "attrs": self._json_attrs(span),
                     },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        if self.dropped:
+            lines.append(
+                json.dumps(
+                    {"meta": {"dropped": self.dropped}},
                     sort_keys=True,
                     separators=(",", ":"),
                 )

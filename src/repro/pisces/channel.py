@@ -59,6 +59,10 @@ class PiscesChannel(Channel):
         )
         node.intc.register(self._to_linux_vec, self._chunk_handler)
         node.intc.register(self._to_cokernel_vec, self._chunk_handler)
+        #: Plain-int transfer accounting (always on, deterministic) —
+        #: the invariant auditor checks started == completed at shutdown.
+        self.transfers_started = 0
+        self.transfers_completed = 0
 
     @property
     def linux_handling_core_id(self) -> int:
@@ -93,11 +97,17 @@ class PiscesChannel(Channel):
             else 0
         )
         chunks = costs.pfn_list_chunks(npfns) if npfns else 1
+        # Marshalling time is closed-form (identical under fast and slow
+        # IPI paths); exporting it as a span attribute lets the analysis
+        # layer split the transfer span into channel-copy vs. IPI time.
+        marshal_ns = npfns * (costs.channel_per_pfn_ns + penalty)
+        self.transfers_started += 1
         o = obs.get()
         with o.span("pisces.transfer", engine, track=self.name,
-                    kind=msg.kind, npfns=npfns, chunks=chunks):
+                    kind=msg.kind, npfns=npfns, chunks=chunks,
+                    marshal_ns=marshal_ns):
             # Per-PFN marshalling through the shared region (source side).
-            yield engine.sleep(npfns * (costs.channel_per_pfn_ns + penalty))
+            yield engine.sleep(marshal_ns)
             # One IPI round per chunk; the handler occupies the target core.
             intc = self.node.intc
             core = self.node.core(vec.core_id)
@@ -119,6 +129,7 @@ class PiscesChannel(Channel):
             else:
                 for _ in range(chunks):
                     yield from intc.send_ipi(vec, costs.ipi_handler_core0_ns)
+        self.transfers_completed += 1
         o.counter("pisces.channel.msgs").inc()
         o.counter("pisces.channel.pfns").inc(npfns)
         o.counter("pisces.channel.bytes").inc(npfns * 8)

@@ -1,0 +1,145 @@
+"""Tests for the BENCH_*.json regression comparator."""
+
+import json
+
+import pytest
+
+from repro.obs import bench
+
+
+# -- direction inference -------------------------------------------------------
+
+@pytest.mark.parametrize("key,direction", [
+    ("slowpath_seconds", "lower"),
+    ("attach_latency_ns", "lower"),
+    ("obs_overhead_pct", "lower"),
+    ("speedup", "higher"),
+    ("attach_gib_s", "higher"),
+    ("transfer_throughput", "higher"),
+    ("npages", None),
+    ("cycles", None),
+    ("benchmark", None),
+])
+def test_direction_of(key, direction):
+    assert bench.direction_of(key) == direction
+
+
+# -- comparison ----------------------------------------------------------------
+
+def test_within_tolerance_passes():
+    cmp = bench.compare(
+        {"wall_seconds": 1.0, "speedup": 2.0, "npages": 512},
+        {"wall_seconds": 1.10, "speedup": 1.90, "npages": 512},
+        tolerance=0.15,
+    )
+    assert cmp.ok
+    assert not cmp.regressions
+    (speedup, wall) = sorted(cmp.deltas, key=lambda d: d.key)
+    assert speedup.change_pct == pytest.approx(-5.0)
+    assert wall.change_pct == pytest.approx(10.0)
+
+
+def test_lower_better_regression_caught():
+    cmp = bench.compare({"wall_seconds": 1.0}, {"wall_seconds": 1.2},
+                        tolerance=0.15)
+    assert not cmp.ok
+    (d,) = cmp.regressions
+    assert d.key == "wall_seconds" and d.direction == "lower"
+
+
+def test_higher_better_regression_caught():
+    cmp = bench.compare({"speedup": 2.0}, {"speedup": 1.5}, tolerance=0.15)
+    assert not cmp.ok
+    assert cmp.regressions[0].direction == "higher"
+
+
+def test_improvements_never_regress():
+    cmp = bench.compare(
+        {"wall_seconds": 1.0, "speedup": 2.0},
+        {"wall_seconds": 0.2, "speedup": 9.0},
+    )
+    assert cmp.ok
+
+
+def test_identity_keys_must_match_exactly():
+    cmp = bench.compare({"npages": 512, "wall_seconds": 1.0},
+                        {"npages": 1024, "wall_seconds": 1.0})
+    assert not cmp.ok
+    assert cmp.mismatched == [("npages", 512, 1024)]
+
+
+def test_missing_keys_fail():
+    cmp = bench.compare({"wall_seconds": 1.0, "speedup": 2.0},
+                        {"wall_seconds": 1.0})
+    assert not cmp.ok
+    assert cmp.missing == ["speedup"]
+
+
+def test_extra_current_keys_are_ignored():
+    cmp = bench.compare({"wall_seconds": 1.0},
+                        {"wall_seconds": 1.0, "new_metric_seconds": 9.0})
+    assert cmp.ok
+
+
+def test_per_key_tolerance_override():
+    base, cur = {"wall_seconds": 1.0}, {"wall_seconds": 1.3}
+    assert not bench.compare(base, cur, tolerance=0.15).ok
+    assert bench.compare(base, cur, tolerance=0.15,
+                         tolerances={"wall_seconds": 0.5}).ok
+
+
+def test_zero_baseline_edge_cases():
+    cmp = bench.compare({"noise_overhead_ns": 0}, {"noise_overhead_ns": 0})
+    assert cmp.ok and cmp.deltas[0].ratio == 1.0
+    cmp = bench.compare({"noise_overhead_ns": 0}, {"noise_overhead_ns": 5})
+    assert not cmp.ok
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ValueError):
+        bench.compare({}, {}, tolerance=-0.1)
+
+
+def test_bools_are_identity_not_metrics():
+    cmp = bench.compare({"fastpath_rate": True}, {"fastpath_rate": False})
+    assert cmp.mismatched and not cmp.deltas
+
+
+# -- rendering and CLI ---------------------------------------------------------
+
+def test_render_verdicts():
+    good = bench.compare({"wall_seconds": 1.0}, {"wall_seconds": 1.0})
+    assert "PASS" in bench.render(good, 0.15)
+    bad = bench.compare({"wall_seconds": 1.0, "npages": 4},
+                        {"wall_seconds": 2.0, "npages": 8})
+    text = bench.render(bad, 0.15)
+    assert "REGRESSED" in text
+    assert "MISMATCH: npages" in text
+    assert "FAIL: 1 regression(s), 1 mismatch(es)" in text
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", {"wall_seconds": 1.0})
+    same = _write(tmp_path, "same.json", {"wall_seconds": 1.05})
+    slow = _write(tmp_path, "slow.json", {"wall_seconds": 2.0})
+    assert bench.main([base, same]) == 0
+    assert "PASS" in capsys.readouterr().out
+    assert bench.main([base, slow]) == 1
+    assert "FAIL" in capsys.readouterr().out
+    assert bench.main([base, slow, "--tolerance", "1.5"]) == 0
+
+
+def test_cli_bad_inputs(tmp_path):
+    base = _write(tmp_path, "base.json", {"wall_seconds": 1.0})
+    with pytest.raises(SystemExit, match="cannot read"):
+        bench.main([base, str(tmp_path / "absent.json")])
+    garbled = tmp_path / "bad.json"
+    garbled.write_text("{not json")
+    with pytest.raises(SystemExit, match="invalid JSON"):
+        bench.main([base, str(garbled)])

@@ -46,6 +46,49 @@ def test_histogram_rejects_unsorted_bounds():
         reg.histogram("h", bounds=(100, 10))
 
 
+def test_histogram_quantiles_interpolate_within_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat.ns", bounds=(10, 100))
+    for x in range(1, 101):  # uniform 1..100
+        h.observe(x)
+    # 10 samples land in (-inf,10], 90 in (10,100]; interpolation inside
+    # the second bucket recovers the uniform quantiles.
+    assert h.quantile(0.50) == pytest.approx(50.0)
+    assert h.quantile(0.95) == pytest.approx(95.0)
+    assert h.quantile(1.0) == pytest.approx(100.0)
+    # estimates are clamped to the observed range
+    assert h.quantile(0.0) == pytest.approx(1.0)
+
+
+def test_histogram_quantile_overflow_bucket_uses_observed_max():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat.ns", bounds=(10,))
+    h.observe(5)
+    h.observe(1000)
+    assert h.quantile(1.0) == pytest.approx(1000.0)
+    assert h.quantile(0.0) == pytest.approx(5.0)
+
+
+def test_histogram_quantile_empty_and_bad_q():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat.ns")
+    assert h.quantile(0.5) == 0.0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_snapshot_includes_percentiles_and_extremes():
+    reg = MetricsRegistry()
+    h = reg.histogram("xemem.attach.ns", bounds=(1000, 10_000))
+    for x in (100, 2000, 3000, 50_000):
+        h.observe(x)
+    snap = reg.snapshot()["xemem.attach.ns"]
+    assert snap["min"] == 100
+    assert snap["max"] == 50_000
+    assert {"p50", "p95", "p99"} <= set(snap)
+    assert 100 <= snap["p50"] <= snap["p95"] <= snap["p99"] <= 50_000
+
+
 def test_kind_mismatch_raises():
     reg = MetricsRegistry()
     reg.counter("x")
@@ -88,6 +131,35 @@ def test_snapshot_round_trips_through_json():
     assert hist["count"] == 2
     assert hist["buckets"] == {"1000": 1, "10000": 1, "+inf": 0}
     assert hist["mean"] == pytest.approx(2750.0)
+
+
+def test_clear_resets_in_place_and_keeps_handed_out_references():
+    """Regression: clear() used to drop the registry dict, so a cached
+    Counter kept counting into an object no snapshot would ever see."""
+    reg = MetricsRegistry()
+    c = reg.counter("xemem.make.count")
+    g = reg.gauge("queue.depth")
+    h = reg.histogram("attach.ns", bounds=(10,))
+    c.inc(5)
+    g.set(3.5)
+    h.observe(7)
+
+    reg.clear()
+    assert reg.counter("xemem.make.count") is c
+    assert c.value == 0 and g.value == 0.0 and h.count == 0
+
+    c.inc()  # the cached reference still feeds the registry
+    assert reg.snapshot()["xemem.make.count"] == 1
+
+
+def test_drop_all_detaches_cached_references():
+    reg = MetricsRegistry()
+    c = reg.counter("x")
+    reg.drop_all()
+    c.inc()  # writes into a detached object
+    assert len(reg) == 0
+    assert reg.counter("x") is not c
+    assert reg.counter("x").value == 0
 
 
 def test_to_json_is_deterministic():

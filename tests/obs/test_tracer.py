@@ -157,7 +157,10 @@ def test_chrome_export_structure():
     assert attach["cat"] == "xemem"
     assert attach["ts"] == 0
     assert attach["dur"] == pytest.approx(0.4)  # 400 ns in microseconds
-    assert attach["args"] == {"npages": 4}
+    # span identity rides in args so analysis can rebuild the tree
+    assert attach["args"] == {"npages": 4, "span_id": attach["args"]["span_id"]}
+    transfer = next(e for e in xs if e["name"] == "pisces.transfer")
+    assert transfer["args"]["parent_id"] == attach["args"]["span_id"]
 
 
 def test_jsonl_export_round_trips():

@@ -84,9 +84,88 @@ def test_inspect_command(tmp_path, capsys):
     assert "per track" in out
 
 
+def test_inspect_shows_per_name_duration_stats(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert main(["explain", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["inspect", str(trace)]) == 0
+    out = capsys.readouterr().out
+    for col in ("count", "total ms", "mean us", "max us"):
+        assert col in out
+    assert "WARNING" not in out  # nothing dropped
+
+
+def test_inspect_attribute_flag_adds_breakdown(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert main(["explain", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["inspect", str(trace), "--attribute"]) == 0
+    out = capsys.readouterr().out
+    assert "per-subsystem cost attribution" in out
+    assert "critical path:" in out
+
+
+def test_inspect_warns_loudly_about_dropped_spans(tmp_path, capsys):
+    from repro import obs
+    from repro.bench import figures
+
+    trace = tmp_path / "t.json"
+    with obs.observing(trace=True, metrics=False, max_trace_events=5) as ctx:
+        figures.fig5_throughput(reps=1)
+    assert ctx.tracer.dropped > 0
+    with open(trace, "w") as fp:
+        ctx.tracer.to_chrome(fp)
+    for command in ("inspect", "report"):
+        assert main([command, str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"WARNING: {ctx.tracer.dropped} spans were DROPPED" in out
+        assert "TRUNCATED" in out
+
+
+def test_report_command_attributes_a_fig5_trace(tmp_path, capsys):
+    """Acceptance: a Table-2-style breakdown whose buckets cover >= 95%
+    of the recorded span time of a Fig. 5 run."""
+    import re
+
+    trace = tmp_path / "t.json"
+    assert main(["fig5", "--reps", "1", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "per-subsystem cost attribution" in out
+    for bucket in ("channel", "ipi", "xemem"):
+        assert bucket in out
+    assert "TOTAL (attributed)" in out
+    (coverage,) = re.findall(r"coverage ([0-9.]+)%", out.splitlines()[0])
+    assert float(coverage) >= 95.0
+
+
+def test_report_round_trips_jsonl_traces(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    assert main(["explain", "--trace", str(trace),
+                 "--trace-format", "jsonl"]) == 0
+    capsys.readouterr()
+    assert main(["report", str(trace)]) == 0
+    assert "per-subsystem cost attribution" in capsys.readouterr().out
+
+
+def test_report_rejects_garbage_input(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("this is not a trace")
+    with pytest.raises(SystemExit, match="not a Chrome-trace or JSONL"):
+        main(["report", str(bad)])
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["report", str(tmp_path / "absent.json")])
+
+
 def test_inspect_requires_target():
     with pytest.raises(SystemExit):
         main(["inspect"])
+
+
+def test_report_requires_target():
+    with pytest.raises(SystemExit):
+        main(["report"])
 
 
 def test_profile_flag(capsys):
