@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test audit lint bench bench-compare figures examples clean
+.PHONY: install test audit chaos lint bench bench-compare figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,14 @@ test:
 
 audit:
 	REPRO_AUDIT=1 $(PYTHON) -m pytest tests/
+
+# The CI chaos matrix, locally: the fault-injection suite under the
+# invariant auditor, across three fault schedules.
+chaos:
+	for seed in 0 1 2; do \
+		REPRO_AUDIT=1 REPRO_CHAOS_SEED=$$seed \
+			$(PYTHON) -m pytest tests/faults -q || exit 1; \
+	done
 
 lint:
 	ruff check src tests

@@ -11,6 +11,7 @@ Usage::
     python -m repro fig9 [--runs 3]
     python -m repro ablations [--reps 3]
     python -m repro all
+    python -m repro chaos [--seed N] [--plan SPEC] [--cokernels N] [--ops N]
     python -m repro inspect trace.json [--attribute]
     python -m repro report trace.json
 
@@ -273,6 +274,15 @@ def _report(args) -> str:
     )
 
 
+def _chaos(args) -> str:
+    """Seeded fault-injection run: lossy channels + enclave crash."""
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos(seed=args.seed, plan_spec=args.plan,
+                       cokernels=args.cokernels, ops=args.ops)
+    return "\n".join(report.lines())
+
+
 def _render_profile(engine_obs) -> str:
     """Format the wallclock hot-path profile (``--profile``)."""
     rows = [
@@ -307,8 +317,8 @@ def main(argv=None) -> int:
         description="Regenerate the XEMEM paper's evaluation figures.",
     )
     parser.add_argument("command",
-                        choices=sorted(COMMANDS) + ["all", "inspect", "list",
-                                                    "report"])
+                        choices=sorted(COMMANDS) + ["all", "chaos", "inspect",
+                                                    "list", "report"])
     parser.add_argument("target", nargs="?",
                         help="trace file for the 'inspect'/'report' commands")
     parser.add_argument("--attribute", action="store_true",
@@ -319,6 +329,14 @@ def main(argv=None) -> int:
                         help="seeded runs per fig8/fig9 cell (paper: 10/5)")
     parser.add_argument("--seconds", type=int, default=10,
                         help="fig7 measurement window")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="chaos: fault-plan RNG seed")
+    parser.add_argument("--plan", metavar="SPEC",
+                        help="chaos: fault plan spec (see docs/FAULTS.md)")
+    parser.add_argument("--cokernels", type=int, default=3,
+                        help="chaos: number of Kitten co-kernels")
+    parser.add_argument("--ops", type=int, default=25,
+                        help="chaos: attach/detach rounds per client")
     parser.add_argument("--trace", metavar="PATH",
                         help="record spans and write a Chrome/Perfetto trace")
     parser.add_argument("--trace-format", choices=("chrome", "jsonl"),
@@ -341,6 +359,9 @@ def main(argv=None) -> int:
         return 0
     if args.command == "report":
         print(_report(args))
+        return 0
+    if args.command == "chaos":
+        print(_chaos(args))
         return 0
 
     want_metrics = args.metrics or bool(args.metrics_out)

@@ -58,6 +58,7 @@ def build_cokernel_system(
     seed: int = 0,
     costs=None,
     with_audit: Optional[bool] = None,
+    fault_plan=None,
 ) -> CokernelRig:
     """The §5 rig: Linux (name server) + N Kitten co-kernels (+ a VM).
 
@@ -70,6 +71,9 @@ def build_cokernel_system(
     (:mod:`repro.obs.audit`) on the rig's engine; the default defers to
     the ``REPRO_AUDIT`` environment switch, so ``REPRO_AUDIT=1 pytest``
     audits every rig-based test without code changes.
+
+    ``fault_plan`` arms a :class:`repro.faults.FaultPlan` on the finished
+    rig (after discovery, so the baseline topology always forms).
     """
     eng = Engine()
     node = NodeHardware(eng, R420_SPEC, costs=costs)
@@ -108,6 +112,10 @@ def build_cokernel_system(
     )
     if with_audit or (with_audit is None and audit.env_enabled()):
         rig.auditor = audit.install(rig)
+    if fault_plan is not None:
+        from repro.faults import arm
+
+        arm(rig, fault_plan)
     return rig
 
 

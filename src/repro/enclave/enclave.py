@@ -120,10 +120,21 @@ class Channel:
 
         Subclasses implement :meth:`_transfer`, which pays the link's
         costs and may rewrite the PFN list into the receiver's namespace.
+
+        When a fault plan is armed on the engine (see :mod:`repro.faults`)
+        each delivery may be dropped, duplicated, delayed, or corrupted
+        (corruption is modeled as a receiver-side checksum discard: the
+        full transfer cost is paid, then the message is thrown away).
+        The wire cost is always paid — faults act on *delivery*.
         """
         if self.closed:
             raise ChannelClosedError(f"channel {self.name!r} is closed")
         dst = self.other(src)
+        faults = src.engine.faults
+        verdict = "deliver"
+        delay_ns = 0
+        if faults is not None and faults.affects_messages:
+            verdict, delay_ns = faults.message_verdict(self, msg)
         msg = yield from self._transfer(src, dst, msg)
         self.messages_sent += 1
         self.pfns_carried += msg.npfns
@@ -141,7 +152,25 @@ class Channel:
                 dst=msg.payload.get("dst"),
                 npfns=msg.npfns,
             )
+        if verdict == "drop":
+            o.counter("faults.msgs.dropped").inc()
+            return
+        if verdict == "corrupt":
+            o.counter("faults.msgs.corrupted").inc()
+            return
+        if verdict == "delay":
+            o.counter("faults.msgs.delayed").inc()
+            yield src.engine.sleep(delay_ns)
         dst.receive(msg, self)
+        if verdict == "dup":
+            # The duplicate gets its own payload dict so the two handler
+            # generators cannot alias each other's routing rewrites.
+            o.counter("faults.msgs.duplicated").inc()
+            dst.receive(
+                KernelMessage(kind=msg.kind, payload=dict(msg.payload),
+                              pfns=msg.pfns),
+                self,
+            )
 
     def _transfer(self, src: Enclave, dst: Enclave, msg: KernelMessage):
         raise NotImplementedError

@@ -138,13 +138,25 @@ class EnclaveSystem:
         self.engine.run_process(
             enclave.module.shutdown(force=force), name=f"depart:{enclave.name}"
         )
+        self.unlink_enclave(enclave)
+
+    def unlink_enclave(self, enclave: Enclave) -> None:
+        """Sever one enclave from the topology: close its channels, purge
+        every surviving routing entry that pointed at them or at its ID,
+        and drop it from the registry. Used by orderly departure (after
+        the protocol ran) and by the crash path (no protocol at all)."""
         for channel in list(enclave.channels):
             channel.close()
             peer = channel.other(enclave)
-            peer.channels.remove(channel)
-            routes = peer.module.routing.routes
-            for dst in [d for d, ch in routes.items() if ch is channel]:
-                del routes[dst]
+            if channel in peer.channels:
+                peer.channels.remove(channel)
+            if peer.module is not None:
+                routing = peer.module.routing
+                routes = routing.routes
+                for dst in [d for d, ch in routes.items() if ch is channel]:
+                    del routes[dst]
+                if routing.ns_channel is channel:
+                    routing.ns_channel = None
             if channel in self.channels:
                 self.channels.remove(channel)
         # purge stale routes toward the departed ID everywhere (upstream
@@ -152,7 +164,8 @@ class EnclaveSystem:
         for other in self.enclaves:
             if other.module is not None:
                 other.module.routing.routes.pop(enclave.enclave_id, None)
-        self.enclaves.remove(enclave)
+        if enclave in self.enclaves:
+            self.enclaves.remove(enclave)
 
     def run_discovery(self) -> Dict[str, int]:
         """Run the §3.2 discovery protocol; returns name -> enclave id.

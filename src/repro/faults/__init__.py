@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the XEMEM reproduction.
+
+Following gem5-style reproducible-simulation discipline, failures are
+*seeded simulation inputs*, not nondeterministic accidents:
+
+* :class:`~repro.faults.plan.FaultPlan` — declarative plan: probabilistic
+  channel faults (drop/duplicate/delay/corrupt), IPI loss, scheduled
+  enclave crashes and name-server restarts, plus the retry and
+  heartbeat/lease recovery policy.
+* :func:`~repro.faults.inject.arm` — install a
+  :class:`~repro.faults.inject.FaultInjector` on a rig's engine. Every
+  hook in the simulator is one attribute check when nothing is armed.
+* :func:`~repro.faults.chaos.run_chaos` — the seeded chaos scenario
+  behind ``python -m repro chaos``.
+
+Same plan + same seed → byte-identical trace and virtual end time; an
+empty or disarmed plan is byte-identical to the fault-free baseline.
+See ``docs/FAULTS.md`` for the fault model and determinism contract.
+"""
+
+from repro.faults.inject import FaultInjector, arm, disarm
+from repro.faults.plan import CRASH, NS_RESTART, FaultEvent, FaultPlan, parse_ns
+
+__all__ = [
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "arm",
+    "disarm",
+    "parse_ns",
+    "CRASH",
+    "NS_RESTART",
+]

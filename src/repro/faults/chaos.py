@@ -1,0 +1,183 @@
+"""The seeded chaos scenario behind ``python -m repro chaos``.
+
+Builds the standard co-kernel rig, arms a :class:`FaultPlan`, and runs a
+fixed shared-memory workload against it: every co-kernel exports one
+named segment, and Linux-side clients hammer the full Table 1 cycle
+(search → get → attach → read → detach → release) against each of them.
+Everything that can fail under the plan — drops, duplicates, delays,
+corruption, IPI loss, mid-attach enclave crashes, name-server restarts —
+is expected to surface as :class:`XememError`/:class:`XememTimeout` on
+individual operations, never as a hang or an engine blowup.
+
+Same seed + same plan → byte-identical report; the determinism property
+tests rely on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench.configs import build_cokernel_system
+from repro.faults.inject import arm
+from repro.faults.plan import FaultPlan
+from repro.hw.costs import PAGE_4K
+from repro.xemem import XememError, XememTimeout, XpmemApi
+
+#: The default plan: lossy channels, lossy IPIs, one mid-run crash, one
+#: name-server restart — with a retry budget that still converges.
+DEFAULT_PLAN_SPEC = (
+    "drop=0.03,dup=0.03,delay=0.05:20us,corrupt=0.02,ipiloss=0.02,"
+    "timeout=300us,retries=5,crash=kitten1@2ms,nsrestart=@4ms:200us"
+)
+
+#: Pages per exported chaos segment.
+SEGMENT_PAGES = 16
+
+
+@dataclass
+class ChaosReport:
+    """What a chaos run did; every field is derived from sim state only
+    (virtual clock, counters), so a (seed, plan) pair reproduces it."""
+
+    seed: int
+    plan_spec: str
+    end_ns: int = 0
+    drained: bool = False
+    live_processes: int = 0
+    exported: int = 0
+    ops_ok: int = 0
+    ops_timeout: int = 0
+    ops_error: int = 0
+    fault_counts: dict = field(default_factory=dict)
+    ns_live_segments: int = 0
+    surviving_enclaves: list = field(default_factory=list)
+
+    @property
+    def ops_total(self) -> int:
+        return self.ops_ok + self.ops_timeout + self.ops_error
+
+    def lines(self) -> list:
+        """Human-readable summary (virtual-clock facts only)."""
+        out = [
+            f"chaos seed={self.seed}",
+            f"  plan: {self.plan_spec}",
+            f"  end: {self.end_ns} ns  drained={self.drained} "
+            f"live_processes={self.live_processes}",
+            f"  exports: {self.exported}",
+            f"  ops: {self.ops_total} total = {self.ops_ok} ok + "
+            f"{self.ops_timeout} timeout + {self.ops_error} error",
+            f"  faults: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.fault_counts.items()) if v
+            ),
+            f"  name server: {self.ns_live_segments} live segment(s)",
+            f"  survivors: {', '.join(self.surviving_enclaves)}",
+        ]
+        return out
+
+
+def run_chaos(seed: int = 0, plan_spec: Optional[str] = None,
+              cokernels: int = 3, ops: int = 25,
+              with_audit: Optional[bool] = None) -> ChaosReport:
+    """Run the chaos scenario; returns a :class:`ChaosReport`.
+
+    ``ops`` is the number of full get/attach/detach/release rounds each
+    Linux-side client runs against its co-kernel's segment.
+    """
+    spec = DEFAULT_PLAN_SPEC if plan_spec is None else plan_spec
+    plan = FaultPlan.parse(spec, seed=seed)
+    rig = build_cokernel_system(num_cokernels=cokernels, with_audit=with_audit)
+    report = ChaosReport(seed=seed, plan_spec=spec)
+
+    eng = rig.engine
+    linux_kernel = rig.linux.kernel
+    counts = {"ok": 0, "timeout": 0, "error": 0}
+
+    def client(api: XpmemApi, name: str):
+        """One Linux client: the full Table 1 cycle, ``ops`` times.
+
+        Every protocol failure is absorbed per operation; partially
+        completed rounds roll their handles back so refcounts stay
+        balanced on the survivor side.
+        """
+        for _ in range(ops):
+            try:
+                segid = yield from api.xpmem_search(name)
+                if segid is None:
+                    counts["error"] += 1
+                    continue
+                apid = yield from api.xpmem_get(segid)
+            except XememTimeout:
+                counts["timeout"] += 1
+                continue
+            except XememError:
+                counts["error"] += 1
+                continue
+            att = None
+            try:
+                att = yield from api.xpmem_attach(
+                    apid, 0, SEGMENT_PAGES * PAGE_4K
+                )
+                if not att.detached:  # may be crash-invalidated already
+                    att.read(0, 8)
+                yield from api.xpmem_detach(att)
+                att = None
+                yield from api.xpmem_release(apid)
+                counts["ok"] += 1
+            except XememTimeout:
+                counts["timeout"] += 1
+            except XememError:
+                counts["error"] += 1
+                # best-effort rollback so the grant does not pin state
+                try:
+                    if att is not None and not att.detached:
+                        yield from api.xpmem_detach(att)
+                    yield from api.xpmem_release(apid)
+                except XememError:
+                    pass
+
+    def scenario():
+        # Export phase: each co-kernel publishes one named segment. Runs
+        # under the armed plan too, so exports themselves may time out.
+        names = []
+        for enclave in rig.cokernels:
+            kernel = enclave.kernel
+            proc = kernel.create_process(f"exp-{enclave.name}")
+            heap = kernel.heap_region(proc)
+            api = XpmemApi(proc)
+            name = f"chaos/{enclave.name}"
+            try:
+                yield from api.xpmem_make(
+                    heap.start, SEGMENT_PAGES * PAGE_4K, name=name
+                )
+            except (XememTimeout, XememError):
+                continue
+            names.append(name)
+            report.exported += 1
+        # Client phase: one concurrent Linux client per exported segment.
+        clients = []
+        for i, name in enumerate(names):
+            proc = linux_kernel.create_process(
+                f"client-{i}", core_id=1 + i % 4
+            )
+            clients.append(
+                eng.spawn(client(XpmemApi(proc), name), name=f"client:{name}")
+            )
+        if clients:
+            yield eng.all_of(clients)
+
+    injector = arm(rig, plan)
+    eng.run_process(scenario(), name="chaos")
+    eng.run()  # drain stragglers (retransmit timers, heartbeat daemons)
+
+    report.end_ns = eng.now
+    report.drained = eng.queue_len == 0
+    report.live_processes = len(eng.live_processes)
+    report.ops_ok = counts["ok"]
+    report.ops_timeout = counts["timeout"]
+    report.ops_error = counts["error"]
+    report.fault_counts = dict(injector.counts)
+    ns = rig.system.name_server_enclave.module.nameserver
+    report.ns_live_segments = ns.live_segments
+    report.surviving_enclaves = [e.name for e in rig.system.enclaves]
+    return report

@@ -1,0 +1,210 @@
+"""Fault plans: seeded, declarative descriptions of what goes wrong.
+
+A :class:`FaultPlan` is pure data — probabilities for per-message channel
+faults and IPI loss, scheduled :class:`FaultEvent`\\ s (enclave crash,
+name-server restart), the request deadline/retry policy that lets the
+protocol recover, and the heartbeat/lease policy that lets the name
+server garbage-collect a dead enclave's segids.
+
+Determinism contract: an armed plan drives *all* randomness through one
+``random.Random(plan.seed)`` owned by the injector, consumed strictly in
+virtual-clock event order — so the same plan + seed reproduces the same
+run byte for byte. A plan with nothing in it (``plan.empty``) consumes
+no randomness, schedules nothing, and arms no deadlines, which is what
+makes an armed-but-empty plan byte-identical to the unarmed baseline.
+
+Plans can also be parsed from a compact CLI spec string::
+
+    drop=0.02,dup=0.01,delay=0.05:20us,corrupt=0.01,ipiloss=0.02,
+    timeout=2ms,retries=4,hb=200us,lease=1ms,horizon=50ms,
+    crash=kitten1@5ms,nsrestart=@10ms:500us
+
+Times accept ``ns``/``us``/``ms``/``s`` suffixes (bare numbers are ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+#: Scheduled event actions.
+CRASH = "crash"
+NS_RESTART = "ns_restart"
+
+_ACTIONS = (CRASH, NS_RESTART)
+
+_UNITS = {"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
+
+
+def parse_ns(text: str) -> int:
+    """``"20us"`` → 20000. Bare numbers are nanoseconds."""
+    text = text.strip()
+    for suffix, scale in _UNITS.items():
+        if text.endswith(suffix) and not text[: -len(suffix)].endswith("n"):
+            number = text[: -len(suffix)]
+            if number:
+                return int(float(number) * scale)
+    return int(float(text))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``action`` on ``target`` at ``at_ns``."""
+
+    at_ns: int
+    action: str
+    target: Optional[str] = None  # enclave name for CRASH; unused for NS_RESTART
+    duration_ns: int = 0          # NS_RESTART: outage window
+
+    def __post_init__(self):
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.at_ns < 0 or self.duration_ns < 0:
+            raise ValueError(f"negative time in {self!r}")
+        if self.action == CRASH and not self.target:
+            raise ValueError("crash event needs a target enclave name")
+
+
+@dataclass
+class FaultPlan:
+    """Everything a chaos run injects, plus the recovery policy."""
+
+    seed: int = 0
+
+    # -- probabilistic per-message channel faults (mutually exclusive
+    # outcomes of one uniform draw per delivery) --------------------------
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_ns: int = 20_000
+    corrupt_prob: float = 0.0
+
+    # -- IPI loss ----------------------------------------------------------
+    ipi_loss_prob: float = 0.0
+    ipi_retransmit_ns: int = 10_000
+
+    # -- request deadline / retry policy (active whenever the armed plan
+    # is non-empty; XememModule falls back to parking forever otherwise) --
+    request_timeout_ns: int = 2_000_000
+    max_retries: int = 4
+    backoff_factor: int = 2
+
+    # -- heartbeat / lease GC ----------------------------------------------
+    heartbeats: bool = False
+    heartbeat_period_ns: int = 200_000
+    lease_ns: int = 1_000_000
+    #: Heartbeat daemons stop at the horizon so the engine always drains.
+    horizon_ns: Optional[int] = None
+
+    # -- scheduled events --------------------------------------------------
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self):
+        for name in ("drop_prob", "dup_prob", "delay_prob", "corrupt_prob",
+                     "ipi_loss_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} outside [0, 1]")
+        total = self.drop_prob + self.dup_prob + self.delay_prob + self.corrupt_prob
+        if total > 1.0:
+            raise ValueError(
+                f"channel fault probabilities sum to {total} > 1 "
+                "(outcomes are mutually exclusive)"
+            )
+        if self.request_timeout_ns <= 0 or self.max_retries < 0:
+            raise ValueError("request policy needs a positive timeout and "
+                             "a non-negative retry count")
+        if self.backoff_factor < 1:
+            raise ValueError(f"backoff_factor {self.backoff_factor} < 1")
+        if self.heartbeats:
+            if self.horizon_ns is None:
+                raise ValueError(
+                    "heartbeats need horizon_ns: unbounded beacon daemons "
+                    "would keep the event queue from ever draining"
+                )
+            if self.heartbeat_period_ns <= 0 or self.lease_ns <= 0:
+                raise ValueError("heartbeat period and lease must be positive")
+            if self.lease_ns <= self.heartbeat_period_ns:
+                raise ValueError(
+                    f"lease_ns={self.lease_ns} must exceed "
+                    f"heartbeat_period_ns={self.heartbeat_period_ns} or every "
+                    "live enclave expires between beacons"
+                )
+        self.events = sorted(self.events, key=lambda ev: (ev.at_ns, ev.action,
+                                                          ev.target or ""))
+
+    @property
+    def affects_messages(self) -> bool:
+        return (self.drop_prob or self.dup_prob or self.delay_prob
+                or self.corrupt_prob) > 0.0
+
+    @property
+    def empty(self) -> bool:
+        """True when arming this plan must change nothing at all."""
+        return (
+            not self.affects_messages
+            and self.ipi_loss_prob == 0.0
+            and not self.events
+            and not self.heartbeats
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Copy of this plan under a different seed."""
+        return replace(self, seed=seed, events=list(self.events))
+
+    # -- CLI spec parsing ---------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from the compact ``key=value,...`` spec string."""
+        fields: dict = {"seed": seed, "events": []}
+        for item in filter(None, (s.strip() for s in spec.split(","))):
+            if "=" not in item:
+                raise ValueError(f"bad fault spec item {item!r} (want key=value)")
+            key, _, value = item.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "drop":
+                fields["drop_prob"] = float(value)
+            elif key == "dup":
+                fields["dup_prob"] = float(value)
+            elif key == "delay":
+                prob, _, dur = value.partition(":")
+                fields["delay_prob"] = float(prob)
+                if dur:
+                    fields["delay_ns"] = parse_ns(dur)
+            elif key == "corrupt":
+                fields["corrupt_prob"] = float(value)
+            elif key == "ipiloss":
+                fields["ipi_loss_prob"] = float(value)
+            elif key == "timeout":
+                fields["request_timeout_ns"] = parse_ns(value)
+            elif key == "retries":
+                fields["max_retries"] = int(value)
+            elif key == "backoff":
+                fields["backoff_factor"] = int(value)
+            elif key == "hb":
+                fields["heartbeats"] = True
+                fields["heartbeat_period_ns"] = parse_ns(value)
+            elif key == "lease":
+                fields["lease_ns"] = parse_ns(value)
+            elif key == "horizon":
+                fields["horizon_ns"] = parse_ns(value)
+            elif key == "crash":
+                target, _, at = value.partition("@")
+                if not at:
+                    raise ValueError(f"crash needs target@time, got {value!r}")
+                fields["events"].append(
+                    FaultEvent(at_ns=parse_ns(at), action=CRASH, target=target)
+                )
+            elif key == "nsrestart":
+                at, _, outage = value.lstrip("@").partition(":")
+                fields["events"].append(
+                    FaultEvent(
+                        at_ns=parse_ns(at), action=NS_RESTART,
+                        duration_ns=parse_ns(outage) if outage else 0,
+                    )
+                )
+            else:
+                raise ValueError(f"unknown fault spec key {key!r}")
+        return cls(**fields)

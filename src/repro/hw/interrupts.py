@@ -75,6 +75,18 @@ class InterruptController:
                 f"IPI to unbound vector {vec.vector} on core {vec.core_id}"
             )
         costs = self.node.costs
+        faults = self.engine.faults
+        if faults is not None and faults.affects_ipi:
+            # A lost IPI costs the sender the delivery latency plus a
+            # retransmit timeout before it tries again (bounded, so a
+            # pathological plan cannot wedge the sender forever).
+            lost = 0
+            while lost < faults.MAX_IPI_RETRANSMITS and faults.ipi_lost():
+                lost += 1
+                obs.get().counter("faults.ipi.lost").inc()
+                yield self.engine.sleep(
+                    costs.ipi_latency_ns + faults.plan.ipi_retransmit_ns
+                )
         yield self.engine.sleep(costs.ipi_latency_ns)
         core = self.node.core(vec.core_id)
         yield core.resource.acquire()

@@ -111,12 +111,14 @@ class PiscesChannel(Channel):
             # One IPI round per chunk; the handler occupies the target core.
             intc = self.node.intc
             core = self.node.core(vec.core_id)
+            faults = engine.faults
             if (
                 FASTPATH.ipi_batching
                 and chunks > 1
                 and core.resource.in_use == 0
                 and core.resource.queue_depth == 0
                 and intc.vectors_on_core(vec.core_id) == 1
+                and (faults is None or not faults.affects_ipi)
             ):
                 # Uncontended target core with no other channel bound to
                 # it: the per-chunk rounds are identical back-to-back, so

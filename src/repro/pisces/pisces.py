@@ -147,11 +147,101 @@ class PiscesManager:
                 f"enclave {enclave.name!r} still holds "
                 f"{kernel.allocator.used_frames} frame(s); exit its processes first"
             )
+        self._unwatch(enclave)
         for core in kernel.cores:
             core.owner = None
         zone_id, rng = self._partitions.pop(kernel)
         self.node.memory.zone(zone_id).allocator.free(rng)
         self.cokernel_enclaves.remove(enclave)
+
+    def crash_enclave(self, enclave: Enclave, system=None,
+                      notify_nameserver: bool = True) -> None:
+        """Fail-stop one co-kernel enclave, as the fault injector does.
+
+        Unlike orderly departure nothing is negotiated and no simulated
+        time passes — the partition just dies. The crash path:
+
+        1. fails every parked waiter in the enclave's XEMEM module and
+           marks it crashed (late traffic is dropped, not served);
+        2. severs the enclave from the topology (channels close, routes
+           and stale name-server paths are purged on survivors);
+        3. invalidates surviving enclaves' attachments into the dead
+           partition — their PTEs are unmapped; frames are never freed by
+           a foreign kernel;
+        4. garbage-collects the dead enclave's segids at the name server
+           (directly when ``notify_nameserver``; otherwise lease expiry
+           does it once heartbeats stop);
+        5. destroys the dead kernel's processes (reclaiming its frames),
+           frees its cores, and returns its memory partition to the node;
+        6. deregisters the dead kernel/module/channels from any armed
+           invariant auditor — its state is gone, not inconsistent.
+        """
+        if enclave not in self.cokernel_enclaves:
+            raise PartitionError(f"{enclave!r} is not a co-kernel of this node")
+        kernel = enclave.kernel
+        module = enclave.module
+        crashed_id = enclave.enclave_id
+
+        # Segids the dead enclave owned, snapshotted before any GC.
+        dead_segids = set()
+        ns_module = None
+        if system is not None and system.name_server_enclave is not None:
+            ns_module = system.name_server_enclave.module
+        if ns_module is not None and crashed_id is not None:
+            dead_segids = {
+                sid for sid, rec in ns_module.nameserver.segids.items()
+                if rec.owner_enclave_id == crashed_id
+            }
+
+        if module is not None:
+            module.crash()
+        if system is not None:
+            system.unlink_enclave(enclave)
+
+        # Survivors: tear down attachments into the dead partition.
+        pfn_window = (
+            kernel.allocator.start_pfn,
+            kernel.allocator.start_pfn + kernel.allocator.nframes,
+        )
+        if system is not None:
+            for other in system.enclaves:
+                if other.module is not None:
+                    other.module.invalidate_dead_segments(
+                        dead_segids, pfn_window, crashed_enclave_id=crashed_id
+                    )
+
+        if notify_nameserver and ns_module is not None and crashed_id is not None:
+            ns_module.nameserver.gc_enclave(crashed_id)
+
+        self._unwatch(enclave)
+
+        # Reclaim the partition: destroying each process frees the frames
+        # it owns; foreign frames were only ever unmapped above.
+        for proc in list(kernel.processes.values()):
+            kernel.destroy_process(proc)
+        for core in kernel.cores:
+            core.owner = None
+        zone_id, rng = self._partitions.pop(kernel)
+        self.node.memory.zone(zone_id).allocator.free(rng)
+        self.cokernel_enclaves.remove(enclave)
+        for channel in [ch for ch in self.channels
+                        if enclave in (ch.a, ch.b)]:
+            self.channels.remove(channel)
+
+    def _unwatch(self, enclave: Enclave) -> None:
+        """Deregister a dead enclave from any armed invariant auditor."""
+        from repro.obs.audit import find_hook
+
+        hook = find_hook(self.engine)
+        if hook is None:
+            return
+        auditor = hook.auditor
+        auditor.unwatch_kernel(enclave.kernel)
+        if enclave.module is not None:
+            auditor.unwatch_module(enclave.module)
+        for channel in list(auditor.channels):
+            if enclave in (channel.a, channel.b):
+                auditor.unwatch_channel(channel)
 
     @property
     def all_enclaves(self) -> List[Enclave]:

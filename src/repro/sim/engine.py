@@ -223,6 +223,9 @@ class Engine:
             obs = _obs_context.get().engine_obs
         #: Optional instrumentation sink (see repro.obs.engine_hooks).
         self.obs = obs
+        #: Optional fault injector (see repro.faults). None = no plan armed;
+        #: every hook site is a single attribute load + None check.
+        self.faults = None
 
     # -- scheduling ---------------------------------------------------------
 

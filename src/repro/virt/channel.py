@@ -11,6 +11,15 @@ behaviour: PFN lists are rewritten at the VM boundary, in flight —
 
 Messages without a PFN list skip translation and just pay the command
 header + doorbell costs, as §4.5 describes.
+
+Fault injection (:mod:`repro.faults`) acts at the base :class:`Channel`
+delivery layer, so it applies here too. One VM-boundary consequence: a
+host→guest message dropped *after* translation leaves its fresh
+guest-physical alias installed in the memory map (the guest never saw
+the PFNs, so nothing will detach them). A retried attach maps a fresh
+alias; the stale one is reclaimed with the VM. That mirrors real
+device-window leaks under lost interrupts and is bounded by the retry
+budget.
 """
 
 from __future__ import annotations

@@ -19,7 +19,9 @@ Public surface:
   on every enclave of a system and run discovery.
 """
 
-from repro.xemem.ids import Permit, SegmentId, ApId, XememError, PermissionError_
+from repro.xemem.ids import (
+    Permit, SegmentId, ApId, XememError, XememTimeout, PermissionError_,
+)
 from repro.xemem.nameserver import NameServer
 from repro.xemem.module import XememModule, install_xemem
 from repro.xemem.api import XpmemApi
@@ -31,6 +33,7 @@ __all__ = [
     "SegmentId",
     "ApId",
     "XememError",
+    "XememTimeout",
     "PermissionError_",
     "NameServer",
     "XememModule",

@@ -46,6 +46,9 @@ LOOKUP_NAME_RESP = "lookup_name_resp"
 LIST_NAMES = "list_names"
 LIST_NAMES_RESP = "list_names_resp"
 
+# -- failure detection (fault-injection extension) ----------------------------------
+ENCLAVE_HEARTBEAT = "enclave_heartbeat"  # one-way liveness beacon to the NS
+
 # -- event notification extension (paper §6.1 future work) ---------------------------
 NOTIFY_SUBSCRIBE = "notify_subscribe"
 NOTIFY_SUBSCRIBE_ACK = "notify_subscribe_ack"
@@ -65,7 +68,7 @@ RELEASE_RESP = "release_resp"
 SEGID_ADDRESSED = {GET_REQ, ATTACH_REQ, RELEASE_REQ, NOTIFY_SUBSCRIBE, SIGNAL_REQ}
 
 #: Kinds with no response at all.
-ONE_WAY = {SEGID_NOTIFY}
+ONE_WAY = {SEGID_NOTIFY, ENCLAVE_HEARTBEAT}
 
 #: Response kind for each request kind.
 RESPONSE_KIND = {

@@ -23,6 +23,14 @@ class PermissionError_(XememError):
     """``xpmem_get`` denied by the segment's permit."""
 
 
+class XememTimeout(XememError):
+    """A protocol request exhausted its deadline and retry budget.
+
+    Only raised while a fault plan is armed (or a module-level request
+    timeout is set): in the fault-free simulation every request is
+    answered, so requests park on their response event without a timer."""
+
+
 @dataclass(frozen=True)
 class SegmentId:
     """A globally unique segment identifier."""

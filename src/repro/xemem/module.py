@@ -23,18 +23,30 @@ paper describes.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro import obs
-from repro.enclave.enclave import Channel, Enclave, KernelMessage
+from repro.enclave.enclave import Channel, ChannelClosedError, Enclave, KernelMessage
 from repro.kernels.pagetable import PAGE_SIZE
 from repro.xemem import commands as C
-from repro.xemem.ids import ApId, Permit, PermissionError_, SegmentId, XememError
+from repro.xemem.ids import (
+    ApId,
+    Permit,
+    PermissionError_,
+    SegmentId,
+    XememError,
+    XememTimeout,
+)
 from repro.xemem.nameserver import NameServer
-from repro.xemem.routing import RoutingTable
+from repro.xemem.routing import RoutingError, RoutingTable
 from repro.xemem.shmem import ApGrant, AttachedRegion, ExportedSegment
+
+#: Bound on the retried-request replay cache (FIFO eviction). Large
+#: enough that a response outlives its request's full retry budget.
+_REPLAY_CACHE_CAP = 512
 
 
 class XememModule:
@@ -62,6 +74,23 @@ class XememModule:
         self._signal_state: Dict[int, list] = {}
         #: live attachment count per apid (release is refused while > 0)
         self._live_attachments: Dict[int, int] = {}
+        #: live AttachedRegion objects per apid, for crash-time invalidation
+        self._attachments_by_apid: Dict[int, list] = {}
+        # -- failure-resilience state --
+        #: set by PiscesManager.crash_enclave; a crashed module drops all
+        #: traffic and never raises out of handlers
+        self.crashed = False
+        #: explicit per-module request policy override (tests); None means
+        #: "use the armed fault plan's policy, or park forever when none"
+        self.request_timeout_ns: Optional[int] = None
+        self.max_request_retries = 4
+        #: req_id -> completed response (idempotent replay of retried
+        #: commands); only populated while a non-empty fault plan is armed
+        self._served_responses: "OrderedDict[str, KernelMessage]" = OrderedDict()
+        #: req_ids currently being served (suppress duplicates in flight)
+        self._in_service: set = set()
+        #: name-server restart outage: drop NS traffic until this time
+        self._ns_down_until = 0
         self.stats = {
             "attaches_served": 0,
             "attaches_made": 0,
@@ -92,9 +121,25 @@ class XememModule:
     # ------------------------------------------------------------- message plumbing
 
     def _receive(self, msg: KernelMessage, channel: Channel) -> None:
+        if self.crashed:
+            obs.get().counter("faults.msgs.to_crashed").inc()
+            return
         self.engine.spawn(
-            self._handle(msg, channel), name=f"xemem:{self.enclave.name}:{msg.kind}"
+            self._handle_safely(msg, channel),
+            name=f"xemem:{self.enclave.name}:{msg.kind}",
         )
+
+    def _handle_safely(self, msg: KernelMessage, channel: Optional[Channel]):
+        """Handler wrapper: a mid-flight enclave crash or a vanished route
+        must not blow up the engine (handlers run as unwaited processes)."""
+        try:
+            yield from self._handle(msg, channel)
+        except (RoutingError, ChannelClosedError):
+            obs.get().counter("xemem.msgs.undeliverable").inc()
+        except Exception:
+            if not self.crashed:
+                raise
+            obs.get().counter("faults.handlers.aborted").inc()
 
     def _send(self, msg: KernelMessage):
         """Generator: send one hop according to the routing rule."""
@@ -113,7 +158,7 @@ class XememModule:
             # a response addressed to ourselves (e.g. the name server
             # serving a segment it also owns): deliver locally
             self.engine.spawn(
-                self._handle(msg, channel=None),
+                self._handle_safely(msg, channel=None),
                 name=f"xemem-local:{msg.kind}",
             )
             return
@@ -122,25 +167,82 @@ class XememModule:
         yield from channel.send(self.enclave, msg)
 
     def _spawn_send(self, msg: KernelMessage) -> None:
-        self.engine.spawn(self._send(msg), name=f"send:{msg.kind}")
+        self.engine.spawn(self._send_safely(msg), name=f"send:{msg.kind}")
 
-    def _request(self, msg: KernelMessage):
-        """Generator: send and wait for the correlated response.
+    def _send_safely(self, msg: KernelMessage):
+        """Spawned-send wrapper: the destination may have crashed between
+        queueing and delivery; a lost response surfaces as the requester's
+        timeout, not as an unwaited exception."""
+        try:
+            yield from self._send(msg)
+        except (RoutingError, ChannelClosedError, XememError):
+            obs.get().counter("xemem.msgs.undeliverable").inc()
 
-        Returns the response message; raises :class:`XememError` if the
-        response carries an error field.
-        """
-        req_id = msg.payload["req_id"]
-        event = self.engine.event(name=f"req:{req_id}")
-        self._pending[req_id] = event
-        yield from self._send(msg)
-        resp: KernelMessage = yield event
+    def _request_policy(self):
+        """(deadline_ns, max_retries, backoff) — (None, 0, 1) = park forever."""
+        if self.request_timeout_ns is not None:
+            return self.request_timeout_ns, self.max_request_retries, 2
+        injector = self.engine.faults
+        if injector is not None and injector.active:
+            plan = injector.plan
+            return plan.request_timeout_ns, plan.max_retries, plan.backoff_factor
+        return None, 0, 1
+
+    @staticmethod
+    def _check_response(resp: KernelMessage) -> KernelMessage:
         error = resp.payload.get("error")
         if error is not None:
             if "permission denied" in error:
                 raise PermissionError_(error)
             raise XememError(error)
         return resp
+
+    def _request(self, msg: KernelMessage):
+        """Generator: send and wait for the correlated response.
+
+        Returns the response message; raises :class:`XememError` if the
+        response carries an error field. With a fault plan armed (or an
+        explicit ``request_timeout_ns``) the wait is bounded: the request
+        is retried under exponential backoff and raises
+        :class:`XememTimeout` when the budget is exhausted. Retries reuse
+        the req_id, so receivers can deduplicate replays.
+        """
+        req_id = msg.payload["req_id"]
+        deadline_ns, max_retries, backoff = self._request_policy()
+        if deadline_ns is None:
+            # Fault-free baseline: park on the response event with no
+            # timer. This path is byte-identical to the pre-fault code.
+            event = self.engine.event(name=f"req:{req_id}")
+            self._pending[req_id] = event
+            yield from self._send(msg)
+            resp: KernelMessage = yield event
+            return self._check_response(resp)
+        o = obs.get()
+        for attempt in range(max_retries + 1):
+            event = self.engine.event(name=f"req:{req_id}#{attempt}")
+            self._pending[req_id] = event
+            if attempt:
+                o.counter("xemem.req.retries").inc()
+            try:
+                yield from self._send(msg)
+            except (RoutingError, ChannelClosedError) as err:
+                if self._pending.get(req_id) is event:
+                    del self._pending[req_id]
+                raise XememError(
+                    f"cannot deliver {msg.kind} from {self.enclave.name!r}: {err}"
+                )
+            which, value = yield self.engine.any_of(
+                [event, self.engine.sleep(deadline_ns)]
+            )
+            if which == 0:
+                return self._check_response(value)
+            if self._pending.get(req_id) is event:
+                del self._pending[req_id]
+            o.counter("xemem.req.timeouts").inc()
+            deadline_ns *= backoff
+        raise XememTimeout(
+            f"{msg.kind} {req_id} unanswered after {max_retries + 1} attempt(s)"
+        )
 
     # ----------------------------------------------------------------- discovery
 
@@ -151,30 +253,107 @@ class XememModule:
         return result
 
     def _discover(self):
-        # (1) broadcast: find a channel with a path to the name server
-        token = self._next_req_id()
-        event = self.engine.event(name=f"ping:{token}")
-        self._ping_pending[token] = event
-        for channel in self.enclave.channels:
-            self._spawn_send_on(
-                channel, C.make_command(C.PING_NS_PATH, None, None, token=token)
+        deadline_ns, max_retries, backoff = self._request_policy()
+        if deadline_ns is None:
+            # Fault-free baseline (byte-identical to the pre-fault code):
+            # (1) broadcast: find a channel with a path to the name server
+            token = self._next_req_id()
+            event = self.engine.event(name=f"ping:{token}")
+            self._ping_pending[token] = event
+            for channel in self.enclave.channels:
+                self._spawn_send_on(
+                    channel, C.make_command(C.PING_NS_PATH, None, None, token=token)
+                )
+            first_channel: Channel = yield event
+        else:
+            first_channel = yield from self._discover_ping(
+                deadline_ns, max_retries, backoff
             )
-        first_channel: Channel = yield event
         self.routing.ns_channel = first_channel
         # (2) request an enclave ID through that channel
         req_id = self._next_req_id()
-        event = self.engine.event(name=f"req:{req_id}")
-        self._pending[req_id] = event
-        yield from first_channel.send(
-            self.enclave, C.make_command(C.ALLOC_ENCLAVE_ID, None, None, req_id=req_id)
-        )
-        resp: KernelMessage = yield event
+        if deadline_ns is None:
+            event = self.engine.event(name=f"req:{req_id}")
+            self._pending[req_id] = event
+            yield from first_channel.send(
+                self.enclave,
+                C.make_command(C.ALLOC_ENCLAVE_ID, None, None, req_id=req_id),
+            )
+            resp: KernelMessage = yield event
+        else:
+            resp = yield from self._discover_alloc(
+                first_channel, req_id, deadline_ns, max_retries, backoff
+            )
         self.enclave.enclave_id = resp.payload["enclave_id"]
         self.routing.discovered = True
         return self.enclave.enclave_id
 
+    def _discover_ping(self, deadline_ns: int, max_retries: int, backoff: int):
+        """Bounded discovery step 1: re-broadcast the ping until acked.
+
+        Each attempt uses a fresh token, so a late ack for an abandoned
+        broadcast is dropped as stray rather than racing a newer one.
+        """
+        o = obs.get()
+        for attempt in range(max_retries + 1):
+            token = self._next_req_id()
+            event = self.engine.event(name=f"ping:{token}")
+            self._ping_pending[token] = event
+            for channel in self.enclave.channels:
+                self._spawn_send_on(
+                    channel, C.make_command(C.PING_NS_PATH, None, None, token=token)
+                )
+            which, value = yield self.engine.any_of(
+                [event, self.engine.sleep(deadline_ns)]
+            )
+            if which == 0:
+                return value
+            self._ping_pending.pop(token, None)
+            o.counter("xemem.req.timeouts").inc()
+            deadline_ns *= backoff
+        raise XememTimeout(
+            f"enclave {self.enclave.name!r} found no name-server path after "
+            f"{max_retries + 1} broadcast(s)"
+        )
+
+    def _discover_alloc(self, channel: Channel, req_id: str, deadline_ns: int,
+                        max_retries: int, backoff: int):
+        """Bounded discovery step 2. The req_id is stable across retries so
+        forwarders and the name server can deduplicate replays."""
+        o = obs.get()
+        for attempt in range(max_retries + 1):
+            event = self.engine.event(name=f"req:{req_id}#{attempt}")
+            self._pending[req_id] = event
+            if attempt:
+                o.counter("xemem.req.retries").inc()
+            yield from channel.send(
+                self.enclave,
+                C.make_command(C.ALLOC_ENCLAVE_ID, None, None, req_id=req_id),
+            )
+            which, value = yield self.engine.any_of(
+                [event, self.engine.sleep(deadline_ns)]
+            )
+            if which == 0:
+                return value
+            if self._pending.get(req_id) is event:
+                del self._pending[req_id]
+            o.counter("xemem.req.timeouts").inc()
+            deadline_ns *= backoff
+        raise XememTimeout(
+            f"enclave-id allocation {req_id} unanswered after "
+            f"{max_retries + 1} attempt(s)"
+        )
+
     def _spawn_send_on(self, channel: Channel, msg: KernelMessage) -> None:
-        self.engine.spawn(channel.send(self.enclave, msg), name=f"send:{msg.kind}")
+        self.engine.spawn(
+            self._send_on_safely(channel, msg), name=f"send:{msg.kind}"
+        )
+
+    def _send_on_safely(self, channel: Channel, msg: KernelMessage):
+        try:
+            yield from channel.send(self.enclave, msg)
+        except ChannelClosedError:
+            obs.get().counter("xemem.msgs.undeliverable").inc()
 
     # ----------------------------------------------------------------- dispatch
 
@@ -193,21 +372,43 @@ class XememModule:
             return
         if kind == C.PING_NS_PATH_ACK:
             event = self._ping_pending.pop(msg.payload["token"], None)
-            if event is not None:
-                event.trigger(channel)
+            if event is None:
+                # duplicate or late ack for an already-answered (or
+                # abandoned) broadcast: drop, don't raise
+                obs.get().counter("xemem.msgs.stray_dropped").inc()
+                return
+            event.trigger(channel)
             return
         if kind == C.ALLOC_ENCLAVE_ID:
             req_id = msg.payload["req_id"]
             if self.is_name_server:
+                if self._ns_down_until > self.engine.now:
+                    obs.get().counter("faults.ns.dropped_while_down").inc()
+                    return
+                cached = self._served_responses.get(req_id)
+                if cached is not None:
+                    # retried allocation: replay the assignment instead of
+                    # burning a second enclave ID
+                    obs.get().counter("xemem.msgs.replayed").inc()
+                    yield from channel.send(
+                        self.enclave,
+                        KernelMessage(kind=cached.kind,
+                                      payload=dict(cached.payload)),
+                    )
+                    return
+                if req_id in self._in_service:
+                    obs.get().counter("xemem.msgs.dup_in_service").inc()
+                    return
+                if self._request_dedup_active():
+                    self._in_service.add(req_id)
                 new_id = self.nameserver.alloc_enclave_id()
                 self.routing.learn(new_id, channel)
-                yield from channel.send(
-                    self.enclave,
-                    C.make_command(
-                        C.ENCLAVE_ID_ASSIGNED, self.my_id, None,
-                        req_id=req_id, enclave_id=new_id,
-                    ),
+                assigned = C.make_command(
+                    C.ENCLAVE_ID_ASSIGNED, self.my_id, None,
+                    req_id=req_id, enclave_id=new_id,
                 )
+                self._record_response(req_id, assigned)
+                yield from channel.send(self.enclave, assigned)
             else:
                 self._forwarded[req_id] = channel
                 yield from self._send(msg)
@@ -219,7 +420,10 @@ class XememModule:
                 return
             origin = self._forwarded.pop(req_id, None)
             if origin is None:
-                raise XememError(f"stray enclave-id assignment {req_id}")
+                # duplicate assignment already delivered (or the waiter
+                # timed out and moved on): drop, don't raise
+                obs.get().counter("xemem.msgs.stray_dropped").inc()
+                return
             # learn the route to the newly assigned enclave (§3.2)
             self.routing.learn(msg.payload["enclave_id"], origin)
             yield from origin.send(self.enclave, msg)
@@ -244,32 +448,141 @@ class XememModule:
         if reply_to is not None:
             event = self._pending.pop(reply_to, None)
             if event is None:
-                raise XememError(f"stray response {reply_to} at {self.enclave.name}")
+                # a duplicated response, or one that arrived after the
+                # requester's deadline fired: drop, don't raise
+                obs.get().counter("xemem.msgs.stray_dropped").inc()
+                return
             event.trigger(msg)
             return
         yield from self._serve(msg)
+
+    # -- retried-request deduplication -------------------------------------
+
+    def _request_dedup_active(self) -> bool:
+        injector = self.engine.faults
+        return injector is not None and injector.active
+
+    def _maybe_replay(self, msg: KernelMessage) -> bool:
+        """True if ``msg`` is a duplicate of a served/in-flight request.
+
+        A cached response is re-sent (idempotent replay); a duplicate of a
+        request still in service is suppressed — the original's response
+        will answer both, since they share a req_id.
+        """
+        if not self._request_dedup_active():
+            return False
+        req_id = msg.payload.get("req_id")
+        if req_id is None:
+            return False
+        cached = self._served_responses.get(req_id)
+        if cached is not None:
+            obs.get().counter("xemem.msgs.replayed").inc()
+            self._spawn_send(
+                KernelMessage(kind=cached.kind, payload=dict(cached.payload),
+                              pfns=cached.pfns)
+            )
+            return True
+        if req_id in self._in_service:
+            obs.get().counter("xemem.msgs.dup_in_service").inc()
+            return True
+        self._in_service.add(req_id)
+        return False
+
+    def _record_response(self, req_id: Optional[str],
+                         resp: KernelMessage) -> None:
+        if req_id is None:
+            return
+        self._in_service.discard(req_id)
+        if not self._request_dedup_active():
+            return
+        self._served_responses[req_id] = resp
+        while len(self._served_responses) > _REPLAY_CACHE_CAP:
+            self._served_responses.popitem(last=False)
+
+    def _respond(self, request: KernelMessage, pfns=None, **fields) -> None:
+        """Build, record (for replay), and spawn-send a response."""
+        resp = C.make_response(request, self.my_id, pfns=pfns, **fields)
+        self._record_response(request.payload.get("req_id"), resp)
+        self._spawn_send(resp)
+
+    # -- name-server failure detection -------------------------------------
+
+    def _lease_ns(self) -> Optional[int]:
+        injector = self.engine.faults
+        if injector is not None and injector.active and injector.plan.heartbeats:
+            return injector.plan.lease_ns
+        return None
+
+    def _sweep_leases(self) -> None:
+        """GC every tracked enclave whose lease has expired."""
+        lease = self._lease_ns()
+        if lease is None:
+            return
+        ns = self.nameserver
+        for eid in ns.expired_enclaves(self.engine.now, lease):
+            purged = ns.gc_enclave(eid)
+            obs.get().counter("xemem.ns.lease_gc").inc()
+            obs.get().counter("xemem.ns.lease_gc_segids").inc(len(purged))
+
+    def _note_heartbeat(self, msg: KernelMessage) -> None:
+        src = msg.payload.get("src")
+        if src is not None:
+            self.nameserver.note_heartbeat(src, self.engine.now)
+        self._sweep_leases()
+
+    def restart_nameserver(self, outage_ns: int = 0) -> None:
+        """Model a name-server restart: the service is down for
+        ``outage_ns`` (all NS traffic dropped), and its volatile replay
+        cache is lost. Registrations (the segid map) persist — the paper's
+        name server lives in the management enclave whose state survives a
+        service restart. Leases restart from the recovery time so a
+        momentarily-silent enclave is not GC'd by the outage itself."""
+        if not self.is_name_server:
+            raise XememError("restart_nameserver on a non-name-server enclave")
+        self._ns_down_until = self.engine.now + outage_ns
+        self._served_responses.clear()
+        self._in_service.clear()
+        self.nameserver.restart_grace(self._ns_down_until)
+        obs.get().counter("xemem.ns.restarts").inc()
 
     def _handle_at_name_server(self, msg: KernelMessage):
         """NS-addressed commands: resolve or answer (§4.2)."""
         ns = self.nameserver
         kind = msg.kind
+        if self._ns_down_until > self.engine.now:
+            # restart outage window: the service is down; requesters'
+            # retries carry them past it
+            obs.get().counter("faults.ns.dropped_while_down").inc()
+            return
+        if kind == C.ENCLAVE_HEARTBEAT:
+            self._note_heartbeat(msg)
+            return
         if kind in C.SEGID_ADDRESSED:
+            self._sweep_leases()
             try:
                 owner = ns.owner_of(msg.payload["segid"])
             except XememError as err:
                 if kind == C.RELEASE_REQ:
                     # releasing a grant on an already-removed segid is
                     # fine: the grant is gone either way (idempotent)
-                    self._spawn_send(C.make_response(msg, self.my_id, ok=True))
+                    self._respond(msg, ok=True)
                 else:
-                    self._spawn_send(C.make_response(msg, self.my_id, error=str(err)))
+                    self._respond(msg, error=str(err))
                 return
             if owner == self.my_id:
                 yield from self._serve(msg)
             else:
                 msg.payload["dst"] = owner
                 self._count_forward()
-                yield from self._send(msg)
+                try:
+                    yield from self._send(msg)
+                except (RoutingError, ChannelClosedError, XememError) as err:
+                    # the owner died between resolution and forwarding
+                    self._respond(
+                        msg, error=f"owner enclave {owner} unreachable: {err}"
+                    )
+            return
+        if self._maybe_replay(msg):
             return
         if kind == C.ALLOC_SEGID:
             try:
@@ -278,24 +591,24 @@ class XememModule:
                     msg.payload["npages"],
                     msg.payload.get("name"),
                 )
-                self._spawn_send(C.make_response(msg, self.my_id, segid=int(segid)))
+                self._respond(msg, segid=int(segid))
             except XememError as err:
-                self._spawn_send(C.make_response(msg, self.my_id, error=str(err)))
+                self._respond(msg, error=str(err))
             return
         if kind == C.REMOVE_SEGID:
             try:
                 ns.remove_segid(msg.payload["segid"], msg.payload["src"])
-                self._spawn_send(C.make_response(msg, self.my_id, ok=True))
+                self._respond(msg, ok=True)
             except XememError as err:
-                self._spawn_send(C.make_response(msg, self.my_id, error=str(err)))
+                self._respond(msg, error=str(err))
             return
         if kind == C.LOOKUP_NAME:
             segid = ns.lookup_name(msg.payload["name"])
-            self._spawn_send(C.make_response(msg, self.my_id, segid=segid))
+            self._respond(msg, segid=segid)
             return
         if kind == C.LIST_NAMES:
             names = ns.list_names(msg.payload.get("prefix", ""))
-            self._spawn_send(C.make_response(msg, self.my_id, names=names))
+            self._respond(msg, names=names)
             return
         if kind == C.ENCLAVE_DEPART:
             departing = msg.payload["src"]
@@ -307,9 +620,7 @@ class XememModule:
                 ns.remove_segid(sid, departing)
             # routing entries are purged by EnclaveSystem.shutdown_enclave
             # once the ack has been delivered (the ack still needs them)
-            self._spawn_send(
-                C.make_response(msg, self.my_id, purged_segids=len(purged))
-            )
+            self._respond(msg, purged_segids=len(purged))
             return
         raise XememError(f"name server cannot handle {kind!r}")
         yield  # pragma: no cover
@@ -319,20 +630,25 @@ class XememModule:
     def _serve(self, msg: KernelMessage):
         """Requests addressed to this enclave as a segment owner."""
         kind = msg.kind
+        if kind == C.SEGID_NOTIFY:
+            # one-way, no req_id: dedup does not apply
+            self._deliver_signal(msg.payload["segid"])
+            return
+        if self._maybe_replay(msg):
+            # a retried command we already served (or are serving): the
+            # replayed/original response answers it. Double-serving would
+            # double-count grants_out.
+            return
         if kind == C.GET_REQ:
             seg = self.segments.get(msg.payload["segid"])
             if seg is None or seg.removed:
-                self._spawn_send(
-                    C.make_response(msg, self.my_id, error="unknown or removed segid")
-                )
+                self._respond(msg, error="unknown or removed segid")
                 return
             if not seg.permit.allows(msg.payload["write"], is_owner=False):
-                self._spawn_send(
-                    C.make_response(msg, self.my_id, error="permission denied")
-                )
+                self._respond(msg, error="permission denied")
                 return
             seg.grants_out += 1
-            self._spawn_send(C.make_response(msg, self.my_id, npages=seg.npages))
+            self._respond(msg, npages=seg.npages)
             return
         if kind == C.ATTACH_REQ:
             yield from self._serve_attach(msg)
@@ -341,32 +657,25 @@ class XememModule:
             seg = self.segments.get(msg.payload["segid"])
             if seg is not None and seg.grants_out > 0:
                 seg.grants_out -= 1
-            self._spawn_send(C.make_response(msg, self.my_id, ok=True))
+            self._respond(msg, ok=True)
             return
         if kind == C.NOTIFY_SUBSCRIBE:
             segid = msg.payload["segid"]
             if segid not in self.segments:
-                self._spawn_send(
-                    C.make_response(msg, self.my_id, error="unknown segid")
-                )
+                self._respond(msg, error="unknown segid")
                 return
             subs = self._signal_subs.setdefault(segid, [])
             if msg.payload["src"] not in subs:
                 subs.append(msg.payload["src"])
-            self._spawn_send(C.make_response(msg, self.my_id, ok=True))
+            self._respond(msg, ok=True)
             return
         if kind == C.SIGNAL_REQ:
             segid = msg.payload["segid"]
             if segid not in self.segments:
-                self._spawn_send(
-                    C.make_response(msg, self.my_id, error="unknown segid")
-                )
+                self._respond(msg, error="unknown segid")
                 return
             self._fan_out_signal(segid, exclude=None)
-            self._spawn_send(C.make_response(msg, self.my_id, ok=True))
-            return
-        if kind == C.SEGID_NOTIFY:
-            self._deliver_signal(msg.payload["segid"])
+            self._respond(msg, ok=True)
             return
         raise XememError(f"enclave {self.enclave.name!r} cannot serve {kind!r}")
 
@@ -374,16 +683,12 @@ class XememModule:
         """Owner side of Fig. 3 steps 5–6: walk pages, return the PFN list."""
         seg = self.segments.get(msg.payload["segid"])
         if seg is None or seg.removed:
-            self._spawn_send(
-                C.make_response(msg, self.my_id, error="unknown or removed segid")
-            )
+            self._respond(msg, error="unknown or removed segid")
             return
         offset_pages = msg.payload["offset_pages"]
         npages = msg.payload["npages"]
         if offset_pages < 0 or npages <= 0 or offset_pages + npages > seg.npages:
-            self._spawn_send(
-                C.make_response(msg, self.my_id, error="attach range outside segment")
-            )
+            self._respond(msg, error="attach range outside segment")
             return
         o = obs.get()
         with o.span("xemem.serve_attach", self.engine, track=self.enclave.name,
@@ -393,7 +698,9 @@ class XememModule:
             )
         o.counter("xemem.attach.served").inc()
         self.stats["attaches_served"] += 1
-        yield from self._send(C.make_response(msg, self.my_id, pfns=pfns))
+        resp = C.make_response(msg, self.my_id, pfns=pfns)
+        self._record_response(msg.payload.get("req_id"), resp)
+        yield from self._send(resp)
 
     # ============================================================== user operations
 
@@ -547,6 +854,21 @@ class XememModule:
                 attached = yield from self._attach_local(proc, grant, offset_pages, npages)
             else:
                 attached = yield from self._attach_remote(proc, grant, offset_pages, npages)
+        if self.grants.get(int(grant.apid)) is not grant:
+            # The grant was invalidated (its owner enclave crashed) while
+            # we were mapping: tear the half-made attachment back down
+            # instead of registering a mapping into dead memory.
+            attached.detached = True
+            if attached.region is not None:
+                aspace = proc.aspace
+                if attached.region in aspace.regions:
+                    if attached.region.populated == attached.region.npages:
+                        aspace.unmap_region(attached.region)
+                    else:
+                        aspace.unmap_populated_pages(attached.region)
+            raise XememError(
+                f"{grant.apid!r} invalidated while attaching (owner crashed)"
+            )
         o.counter("xemem.attach.count").inc()
         o.counter("xemem.attach.pages").inc(npages)
         o.histogram("xemem.attach.ns").observe(self.engine.now - t0)
@@ -554,6 +876,7 @@ class XememModule:
         self._live_attachments[int(grant.apid)] = (
             self._live_attachments.get(int(grant.apid), 0) + 1
         )
+        self._attachments_by_apid.setdefault(int(grant.apid), []).append(attached)
         return attached
 
     def _attach_local(self, proc, grant: ApGrant, offset_pages: int, npages: int):
@@ -634,6 +957,9 @@ class XememModule:
         live = self._live_attachments.get(int(attached.apid), 0)
         if live > 0:
             self._live_attachments[int(attached.apid)] = live - 1
+        registry = self._attachments_by_apid.get(int(attached.apid))
+        if registry is not None and attached in registry:
+            registry.remove(attached)
         if attached.kind == "smartmap":
             key = (proc.pid, attached.smartmap_donor.pid)
             refs = self._smartmap_refs.get(key, 0)
@@ -773,24 +1099,133 @@ class XememModule:
             for cell in self._signal_state.values():
                 waiters, cell[1] = cell[1], []
                 for event in waiters:
-                    event.fail(err)
+                    if not event.triggered:
+                        event.fail(err)
             for pending in (self._pending, self._ping_pending):
                 events = list(pending.values())
                 pending.clear()
                 for event in events:
-                    event.fail(err)
+                    if not event.triggered:
+                        event.fail(err)
         # Drop *all* per-registration state, not just the segments: stale
         # grants, attachment refcounts, and signal subscriptions must not
         # survive into a later re-join of the same enclave.
         self.segments.clear()
         self.grants.clear()
         self._live_attachments.clear()
+        self._attachments_by_apid.clear()
         self._smartmap_refs.clear()
         self._signal_subs.clear()
         self._signal_state.clear()
+        self._forwarded.clear()
+        self._served_responses.clear()
+        self._in_service.clear()
         self._apid_counter = itertools.count(1)
         self.routing.discovered = False
         return True
+
+    def crash(self) -> None:
+        """Fail-stop this enclave's XEMEM service (no protocol, no costs).
+
+        Called by :meth:`PiscesManager.crash_enclave`. Unlike
+        :meth:`shutdown`, nothing is negotiated: every parked waiter fails
+        immediately, all state is dropped, and the module ignores any
+        traffic that still reaches it.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        err = XememError(f"enclave {self.enclave.name!r} crashed")
+        for cell in self._signal_state.values():
+            waiters, cell[1] = cell[1], []
+            for event in waiters:
+                if not event.triggered:
+                    event.fail(err)
+        for pending in (self._pending, self._ping_pending):
+            events = list(pending.values())
+            pending.clear()
+            for event in events:
+                if not event.triggered:
+                    event.fail(err)
+        self.segments.clear()
+        self.grants.clear()
+        self._live_attachments.clear()
+        self._attachments_by_apid.clear()
+        self._smartmap_refs.clear()
+        self._signal_subs.clear()
+        self._signal_state.clear()
+        self._forwarded.clear()
+        self._served_responses.clear()
+        self._in_service.clear()
+        self.routing.routes.clear()
+        self.routing.ns_channel = None
+        self.routing.discovered = False
+        obs.get().counter("faults.modules.crashed").inc()
+
+    def invalidate_dead_segments(self, dead_segids, pfn_window,
+                                 crashed_enclave_id: Optional[int] = None) -> int:
+        """Survivor-side crash cleanup: tear down attachments into a dead
+        enclave's memory and drop the matching grants.
+
+        ``dead_segids`` — segids the crashed enclave owned (its exports);
+        ``pfn_window`` — the dead enclave's physical partition ``(lo, hi)``,
+        catching attachments whose segid records predate the crash (e.g.
+        already-GC'd at the name server). The PTEs are unmapped
+        synchronously (a real implementation would IPI-shootdown; the
+        crash path charges no protocol cost — the frames are gone either
+        way). Foreign frames are never freed here; the crashed kernel's
+        teardown reclaims them. Returns the number of attachments torn
+        down.
+        """
+        dead_segids = {int(s) for s in dead_segids}
+        lo, hi = pfn_window
+        dropped = 0
+        virtualized = getattr(self.kernel, "virtualized", False)
+        for apid, grant in list(self.grants.items()):
+            if grant.owner_is_local:
+                continue
+            dead = int(grant.segid) in dead_segids
+            registry = self._attachments_by_apid.get(apid, [])
+            for att in list(registry):
+                # Guest-side attachments carry guest-physical PFNs whose
+                # numbering is unrelated to host frames; match those by
+                # segid only.
+                in_window = (
+                    not virtualized
+                    and att.local_pfns is not None
+                    and len(att.local_pfns) > 0
+                    and lo <= int(att.local_pfns[0]) < hi
+                )
+                if dead or in_window:
+                    self._invalidate_attachment(att)
+                    registry.remove(att)
+                    dropped += 1
+            if dead:
+                self.grants.pop(apid, None)
+                self._live_attachments.pop(apid, None)
+                self._attachments_by_apid.pop(apid, None)
+        if crashed_enclave_id is not None:
+            for subs in self._signal_subs.values():
+                if crashed_enclave_id in subs:
+                    subs.remove(crashed_enclave_id)
+        if dropped:
+            obs.get().counter("faults.attachments.invalidated").inc(dropped)
+        return dropped
+
+    def _invalidate_attachment(self, att: AttachedRegion) -> None:
+        if att.detached:
+            return
+        att.detached = True
+        live = self._live_attachments.get(int(att.apid), 0)
+        if live > 0:
+            self._live_attachments[int(att.apid)] = live - 1
+        if att.region is not None:
+            aspace = att.proc.aspace
+            if att.region in aspace.regions:
+                if att.region.populated == att.region.npages:
+                    aspace.unmap_region(att.region)
+                else:
+                    aspace.unmap_populated_pages(att.region)
 
     def _grant_of(self, proc, apid: ApId) -> ApGrant:
         grant = self.grants.get(int(apid))

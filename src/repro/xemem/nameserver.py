@@ -43,6 +43,14 @@ class NameServer:
         self._names: Dict[str, int] = {}
         #: enclave id -> channel, maintained by the NS enclave's module.
         self.stats = {"segids_allocated": 0, "lookups": 0, "removed": 0}
+        # -- failure detection (fault-injection extension) --
+        #: enclave id -> virtual time of its last heartbeat beacon
+        self.last_heartbeat_ns: Dict[int, int] = {}
+        #: enclave ids garbage-collected after crash / lease expiry
+        self.retired_enclaves: set = set()
+        #: segids whose owner was garbage-collected (distinct error text
+        #: lets requesters distinguish "never existed" from "owner died")
+        self._retired_segids: set = set()
 
     # -- enclave ids -----------------------------------------------------------
 
@@ -76,6 +84,11 @@ class NameServer:
         """The enclave ID owning ``segid``; raises XememError if unknown."""
         rec = self.segids.get(int(segid))
         if rec is None:
+            if int(segid) in self._retired_segids:
+                raise XememError(
+                    f"segid {int(segid):#x} retired "
+                    "(owner crashed or lease expired)"
+                )
             raise XememError(f"unknown segid {int(segid):#x}")
         return rec.owner_enclave_id
 
@@ -90,6 +103,8 @@ class NameServer:
         """Retire a segid; only its owner enclave may do so."""
         rec = self.segids.get(int(segid))
         if rec is None:
+            if int(segid) in self._retired_segids:
+                return  # already GC'd with its crashed owner: idempotent
             raise XememError(f"unknown segid {int(segid):#x}")
         if rec.owner_enclave_id != enclave_id:
             raise XememError(
@@ -117,6 +132,49 @@ class NameServer:
             for name, segid in sorted(self._names.items())
             if name.startswith(prefix)
         }
+
+    # -- failure detection (fault-injection extension) ---------------------------
+
+    def note_heartbeat(self, enclave_id: int, now_ns: int) -> None:
+        """Record a liveness beacon from ``enclave_id``."""
+        if enclave_id in self.retired_enclaves:
+            return  # a zombie beacon from an already-GC'd enclave
+        self.last_heartbeat_ns[int(enclave_id)] = int(now_ns)
+
+    def expired_enclaves(self, now_ns: int, lease_ns: int) -> list:
+        """Tracked enclaves whose lease has lapsed (sorted for determinism)."""
+        return sorted(
+            eid for eid, last in self.last_heartbeat_ns.items()
+            if last + lease_ns < now_ns
+        )
+
+    def gc_enclave(self, enclave_id: int) -> list:
+        """Purge everything a dead enclave owned; returns its segids.
+
+        Purged segids move to the retired set so later requests get a
+        crash-specific error and retried removals are idempotent.
+        """
+        purged = sorted(
+            sid for sid, rec in self.segids.items()
+            if rec.owner_enclave_id == enclave_id
+        )
+        for sid in purged:
+            rec = self.segids.pop(sid)
+            if rec.name is not None:
+                self._names.pop(rec.name, None)
+            self._retired_segids.add(sid)
+            self.stats["removed"] += 1
+        self.retired_enclaves.add(enclave_id)
+        self.last_heartbeat_ns.pop(int(enclave_id), None)
+        if purged:
+            obs.get().counter("xemem.ns.segids_removed").inc(len(purged))
+        return purged
+
+    def restart_grace(self, now_ns: int) -> None:
+        """After a name-server restart: re-stamp every lease from the
+        recovery time, so the outage itself never expires a live enclave."""
+        for eid in self.last_heartbeat_ns:
+            self.last_heartbeat_ns[eid] = int(now_ns)
 
     @property
     def live_segments(self) -> int:

@@ -1,0 +1,39 @@
+"""Shared helpers for the fault-injection tests.
+
+Everything here builds on the standard §5 co-kernel rig
+(:func:`repro.bench.configs.build_cokernel_system`), which arms the
+fault plan only *after* discovery — so the baseline topology always
+forms and the plan hits steady-state protocol traffic.
+"""
+
+from repro.bench.configs import build_cokernel_system
+from repro.hw.costs import PAGE_4K
+from repro.xemem import XpmemApi
+
+
+def build_rig(num_cokernels=2, plan=None, with_audit=True):
+    """The standard rig with the auditor on (tests want invariants hot)."""
+    return build_cokernel_system(
+        num_cokernels=num_cokernels, with_audit=with_audit, fault_plan=plan
+    )
+
+
+def table1_cycle(rig, pages=4, exporter_idx=0):
+    """Generator: one full cross-enclave Table 1 cycle on ``rig``.
+
+    kitten<exporter_idx> exports ``pages`` pages; a Linux process runs
+    get → attach → read → detach → release against it. Returns the
+    exporting module and the segid so callers can assert on owner state.
+    """
+    exporter = rig.cokernels[exporter_idx]
+    kp = exporter.kernel.create_process("exp")
+    lp = rig.linux.kernel.create_process("att", core_id=2)
+    heap = exporter.kernel.heap_region(kp)
+    api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+    segid = yield from api_k.xpmem_make(heap.start, pages * PAGE_4K)
+    apid = yield from api_l.xpmem_get(segid)
+    att = yield from api_l.xpmem_attach(apid)
+    att.read(0, 8)
+    yield from api_l.xpmem_detach(att)
+    yield from api_l.xpmem_release(apid)
+    return exporter.module, segid

@@ -1,0 +1,62 @@
+"""The end-to-end chaos scenario and its CLI entry point.
+
+CI runs this module under a seed matrix: ``REPRO_CHAOS_SEED`` offsets
+every seed used here, so each matrix job explores a different schedule
+while any single job stays reproducible.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.faults.chaos import DEFAULT_PLAN_SPEC, run_chaos
+
+#: CI matrix offset — the same tests, a different fault schedule per job.
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+def test_default_plan_drains_and_recovers():
+    report = run_chaos(seed=SEED, with_audit=True)
+    assert report.drained and report.live_processes == 0
+    assert report.exported >= 1
+    assert report.ops_total == report.exported * 25
+    assert report.fault_counts["crashes"] == 1
+    assert report.fault_counts["ns_restarts"] == 1
+    # kitten1 died; the management enclave and the others survived
+    assert "linux" in report.surviving_enclaves
+    assert "kitten1" not in report.surviving_enclaves
+    assert report.plan_spec == DEFAULT_PLAN_SPEC
+
+
+def test_heavy_loss_still_converges():
+    report = run_chaos(
+        seed=SEED, plan_spec="drop=0.4,timeout=100us,retries=8,backoff=2",
+        cokernels=2, ops=4, with_audit=True,
+    )
+    assert report.drained and report.live_processes == 0
+    assert report.fault_counts["msgs_dropped"] > 0
+    assert report.ops_total == report.exported * 4
+
+
+def test_report_lines_render():
+    report = run_chaos(seed=SEED, cokernels=2, ops=2)
+    text = "\n".join(report.lines())
+    assert f"chaos seed={SEED}" in text
+    assert "drained=True" in text
+    assert "survivors:" in text
+
+
+def test_chaos_cli():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "chaos",
+         "--seed", str(SEED), "--cokernels", "2", "--ops", "3"],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))),
+        timeout=240,
+    )
+    assert out.returncode == 0, out.stderr
+    assert f"chaos seed={SEED}" in out.stdout
+    assert "drained=True" in out.stdout

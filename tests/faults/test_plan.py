@@ -1,0 +1,95 @@
+"""FaultPlan: spec parsing, validation, and the empty-plan contract."""
+
+import pytest
+
+from repro.faults import CRASH, NS_RESTART, FaultEvent, FaultPlan, parse_ns
+
+
+def test_parse_ns_units():
+    assert parse_ns("17") == 17
+    assert parse_ns("250ns") == 250
+    assert parse_ns("20us") == 20_000
+    assert parse_ns("2ms") == 2_000_000
+    assert parse_ns("1.5s") == 1_500_000_000
+
+
+def test_parse_full_spec():
+    plan = FaultPlan.parse(
+        "drop=0.02,dup=0.01,delay=0.05:40us,corrupt=0.01,ipiloss=0.02,"
+        "timeout=2ms,retries=3,backoff=4,hb=200us,lease=1ms,horizon=50ms,"
+        "crash=kitten1@5ms,nsrestart=@10ms:500us",
+        seed=9,
+    )
+    assert plan.seed == 9
+    assert plan.drop_prob == 0.02 and plan.dup_prob == 0.01
+    assert plan.delay_prob == 0.05 and plan.delay_ns == 40_000
+    assert plan.corrupt_prob == 0.01 and plan.ipi_loss_prob == 0.02
+    assert plan.request_timeout_ns == 2_000_000
+    assert plan.max_retries == 3 and plan.backoff_factor == 4
+    assert plan.heartbeats and plan.heartbeat_period_ns == 200_000
+    assert plan.lease_ns == 1_000_000 and plan.horizon_ns == 50_000_000
+    assert plan.events == [
+        FaultEvent(at_ns=5_000_000, action=CRASH, target="kitten1"),
+        FaultEvent(at_ns=10_000_000, action=NS_RESTART, duration_ns=500_000),
+    ]
+    assert plan.affects_messages and not plan.empty
+
+
+def test_events_sorted_by_time():
+    plan = FaultPlan(events=[
+        FaultEvent(at_ns=900, action=NS_RESTART),
+        FaultEvent(at_ns=100, action=CRASH, target="k"),
+    ])
+    assert [ev.at_ns for ev in plan.events] == [100, 900]
+
+
+def test_with_seed_copies():
+    plan = FaultPlan.parse("drop=0.5", seed=0)
+    other = plan.with_seed(3)
+    assert other.seed == 3 and other.drop_prob == 0.5
+    assert plan.seed == 0  # original untouched
+
+
+def test_empty_plan_detection():
+    assert FaultPlan().empty
+    # a pure policy change (timeout/retries) with no faults is still empty
+    assert FaultPlan(request_timeout_ns=1000, max_retries=1).empty
+    assert not FaultPlan(drop_prob=0.1).empty
+    assert not FaultPlan(ipi_loss_prob=0.1).empty
+    assert not FaultPlan(events=[FaultEvent(0, CRASH, "k")]).empty
+    assert not FaultPlan(heartbeats=True, horizon_ns=1_000_000).empty
+
+
+@pytest.mark.parametrize("bad", [
+    dict(drop_prob=1.5),
+    dict(dup_prob=-0.1),
+    dict(drop_prob=0.6, delay_prob=0.6),  # outcomes sum > 1
+    dict(request_timeout_ns=0),
+    dict(max_retries=-1),
+    dict(backoff_factor=0),
+    dict(heartbeats=True),  # no horizon
+    dict(heartbeats=True, horizon_ns=10**6, lease_ns=100,
+         heartbeat_period_ns=200),  # lease <= period
+])
+def test_plan_validation(bad):
+    with pytest.raises(ValueError):
+        FaultPlan(**bad)
+
+
+@pytest.mark.parametrize("spec", [
+    "drop",                 # no '='
+    "wibble=1",             # unknown key
+    "crash=kitten1",        # no @time
+])
+def test_spec_validation(spec):
+    with pytest.raises(ValueError):
+        FaultPlan.parse(spec)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(at_ns=-1, action=CRASH, target="k")
+    with pytest.raises(ValueError):
+        FaultEvent(at_ns=0, action="meteor")
+    with pytest.raises(ValueError):
+        FaultEvent(at_ns=0, action=CRASH)  # crash needs a target
