@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test audit chaos lint bench bench-compare figures examples clean
+.PHONY: install test audit chaos lint lint-repro bench bench-compare figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,8 +21,14 @@ chaos:
 			$(PYTHON) -m pytest tests/faults -q || exit 1; \
 	done
 
+# Both linters: ruff (style) and the project's determinism &
+# simulation-safety analyzer (docs/LINT.md). Both gate CI.
 lint:
 	ruff check src tests
+	PYTHONPATH=src $(PYTHON) -m repro lint
+
+lint-repro:
+	PYTHONPATH=src $(PYTHON) -m repro lint
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

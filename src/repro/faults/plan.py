@@ -143,7 +143,7 @@ class FaultPlan:
         """True when arming this plan must change nothing at all."""
         return (
             not self.affects_messages
-            and self.ipi_loss_prob == 0.0
+            and not self.ipi_loss_prob
             and not self.events
             and not self.heartbeats
         )

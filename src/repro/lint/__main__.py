@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` — direct entry to the lint CLI."""
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

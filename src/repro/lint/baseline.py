@@ -1,0 +1,73 @@
+"""Baseline files: grandfathered findings that do not fail the gate.
+
+A baseline lets the CI gate turn on while pre-existing findings are
+burned down incrementally. Entries are fingerprinted by
+``(path, code, stripped source line)`` — stable across unrelated line
+insertions — and matched as a multiset, so fixing one of two identical
+violations on different lines removes exactly one entry's cover.
+
+The committed baseline should trend toward empty; ``--write-baseline``
+regenerates it from the current tree.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+#: Schema version of the baseline file format.
+VERSION = 1
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries=()) -> None:
+        self._entries = Counter(tuple(e) for e in entries)
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            with open(path) as fp:
+                data = json.load(fp)
+        except FileNotFoundError:
+            return cls()
+        if data.get("version") != VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r}"
+            )
+        return cls(
+            (e["path"], e["code"], e["source_line"])
+            for e in data.get("findings", ())
+        )
+
+    @staticmethod
+    def write(path: str, findings) -> int:
+        """Write ``findings`` as the new baseline; returns the count."""
+        entries = [
+            {"path": f.path, "code": f.code, "source_line": f.source_line}
+            for f in sorted(findings, key=lambda f: f.sort_key())
+        ]
+        with open(path, "w") as fp:
+            json.dump({"version": VERSION, "findings": entries}, fp, indent=2,
+                      sort_keys=True)
+            fp.write("\n")
+        return len(entries)
+
+    def split(self, findings) -> tuple:
+        """Partition ``findings`` into (new, grandfathered)."""
+        budget = Counter(self._entries)
+        new: list = []
+        old: list = []
+        for f in findings:
+            fp = f.fingerprint()
+            if budget[fp] > 0:
+                budget[fp] -= 1
+                old.append(f)
+            else:
+                new.append(f)
+        return new, old

@@ -1,0 +1,133 @@
+"""``python -m repro lint`` — the determinism & simulation-safety gate.
+
+Exit codes: 0 clean (or everything baselined/suppressed), 1 findings,
+2 usage error. ``--format json`` emits the machine-readable report the
+CI job uploads as an artifact (schema in docs/LINT.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import lint_paths
+from repro.lint.rules import ALL_RULES, CODES
+
+#: Default lint targets, relative to the invocation directory.
+DEFAULT_PATHS = ("src/repro", "tests")
+#: Default baseline location (missing file = empty baseline).
+DEFAULT_BASELINE = "lint-baseline.json"
+#: JSON report schema version.
+REPORT_VERSION = 1
+
+
+def _codes(value: str) -> list:
+    return [c.strip().upper() for c in value.split(",") if c.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="AST-level determinism & simulation-safety checks "
+                    "(REP001-REP008; see docs/LINT.md).",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help=f"files/directories (default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", type=_codes, default=None, metavar="CODES",
+                        help="comma-separated codes to run (default: all)")
+    parser.add_argument("--ignore", type=_codes, default=None, metavar="CODES",
+                        help="comma-separated codes to skip")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+                        help="baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE}; missing = empty)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline and exit 0")
+    parser.add_argument("--output", metavar="FILE",
+                        help="also write the report to FILE")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _render_text(new, old, files_scanned: int) -> str:
+    lines = [f.render() for f in new]
+    summary = (
+        f"{len(new)} finding{'s' if len(new) != 1 else ''} "
+        f"({len(old)} baselined) in {files_scanned} files"
+    )
+    lines.append(summary if new or old else f"clean: {files_scanned} files")
+    return "\n".join(lines)
+
+
+def _render_json(new, old, files_scanned: int) -> str:
+    by_code: dict = {}
+    for f in new:
+        by_code[f.code] = by_code.get(f.code, 0) + 1
+    report = {
+        "version": REPORT_VERSION,
+        "files_scanned": files_scanned,
+        "findings": [f.as_dict() for f in new],
+        "baselined": [f.as_dict() for f in old],
+        "counts": dict(sorted(by_code.items())),
+        "ok": not new,
+    }
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.code} {cls.name:18s} {cls.summary()}")
+        print("REP000 suppressions       Malformed "
+              "'# repro: noqa[REPxxx] reason=...' directive (always on).")
+        return 0
+
+    paths = args.paths or [p for p in DEFAULT_PATHS]
+    try:
+        findings, files_scanned = lint_paths(
+            paths, select=args.select, ignore=args.ignore
+        )
+    except ValueError as exc:  # unknown --select/--ignore codes
+        parser.error(str(exc))
+    except OSError as exc:
+        print(f"error: cannot lint {exc.filename}: {exc.strerror}",
+              file=sys.stderr)
+        return 2
+    if files_scanned == 0:
+        print(f"error: no python files under: {' '.join(paths)}",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        n = Baseline.write(args.baseline, findings)
+        print(f"baseline: {n} finding{'s' if n != 1 else ''} "
+              f"-> {args.baseline}")
+        return 0
+
+    try:
+        new, old = Baseline.load(args.baseline).split(findings)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: bad baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+
+    render = _render_json if args.format == "json" else _render_text
+    report = render(new, old, files_scanned)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(report + "\n")
+    return 1 if new else 0
+
+
+# Keep ``--select``'s error message in sync with the registry.
+assert len(CODES) == len(ALL_RULES)
+
+if __name__ == "__main__":
+    sys.exit(main())

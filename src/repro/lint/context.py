@@ -1,0 +1,120 @@
+"""Per-file analysis context shared by every rule during one pass.
+
+The context owns the parsed tree, the source lines, a resolved import
+table, and the ancestor stack maintained by the visitor. Rules use it
+to (a) report findings and (b) answer "what fully-qualified name does
+this expression refer to?" without re-walking the file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.findings import Finding, Severity
+
+
+def _norm(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+class ImportTable:
+    """Maps local names to the dotted names they were imported as.
+
+    Resolution is purely lexical — module-level and function-level
+    imports all land in one table, locals are not tracked — which is
+    exactly the precision the project rules need: a *negative* answer
+    (``None``) means "not provably an import", and rules treat that as
+    "do not flag".
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.names: dict = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds `a.b`.
+                    full = alias.name if alias.asname else local
+                    self.names[local] = full
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import — target module unknown
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name for a Name/Attribute chain, or None if unknown.
+
+        ``import time`` + ``time.perf_counter`` → ``"time.perf_counter"``;
+        ``from time import perf_counter as pc`` + ``pc`` → same. A chain
+        rooted at a local variable resolves to None.
+        """
+        parts: list = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.names.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+class FileContext:
+    """Everything one lint pass over one file needs."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.imports = ImportTable(tree)
+        #: ancestor chain of the node currently being visited (outermost
+        #: first, excluding the node itself); maintained by the visitor
+        self.ancestors: list = []
+        self.findings: list = []
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self, rule, node: ast.AST, message: str) -> None:
+        """File a finding for ``rule`` at ``node``'s location."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        text = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        self.findings.append(
+            Finding(rule.code, message, self.path, line, col,
+                    rule.severity, source_line=text)
+        )
+
+    # -- shared helpers -----------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name of an expression, or None."""
+        return self.imports.resolve(node)
+
+    def resolved_call(self, node: ast.Call) -> Optional[str]:
+        """Dotted name of a call's callee, or None."""
+        return self.resolve(node.func)
+
+    def path_is(self, *suffixes: str) -> bool:
+        """True when this file's path ends with any of ``suffixes``."""
+        p = _norm(self.path)
+        return any(p.endswith(_norm(s)) for s in suffixes)
+
+    def in_assert(self) -> bool:
+        """True when the current node sits inside an ``assert`` statement."""
+        return any(isinstance(a, ast.Assert) for a in self.ancestors)
+
+    def parent(self) -> Optional[ast.AST]:
+        """Immediate parent of the current node (None at module level)."""
+        return self.ancestors[-1] if self.ancestors else None
+
+
+# Re-exported for rule modules that construct findings directly.
+__all__ = ["FileContext", "ImportTable", "Finding", "Severity"]

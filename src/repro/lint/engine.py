@@ -1,0 +1,78 @@
+"""The lint driver: files in, findings out.
+
+This is the library surface the CLI and the test suite share:
+:func:`lint_source` for one blob (fixture tests), :func:`lint_paths`
+for files/directories (the CLI and the self-check meta-test).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import make_rules
+from repro.lint.visitor import run_rules
+
+#: Directories never descended into.
+SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hypothesis", ".pytest_cache", "build",
+})
+
+
+def lint_source(source: str, path: str = "<string>", select=None,
+                ignore=None) -> list:
+    """Lint one source blob; returns sorted findings.
+
+    Syntax errors come back as a single REP000 finding rather than an
+    exception, so one unparseable file cannot hide the rest of a run.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding("REP000", f"syntax error: {exc.msg}", path,
+                    exc.lineno or 1, (exc.offset or 1) - 1, Severity.ERROR)
+        ]
+    ctx = FileContext(path, source, tree)
+    return run_rules(ctx, make_rules(select=select, ignore=ignore))
+
+
+def iter_python_files(paths) -> list:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Sorted traversal keeps finding order — and therefore text/JSON
+    output — byte-identical across filesystems (the linter holds itself
+    to REP003).
+    """
+    out: list = []
+    for root_path in paths:
+        if os.path.isfile(root_path):
+            out.append(root_path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root_path):
+            dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+            out.extend(
+                os.path.join(dirpath, name)
+                for name in sorted(filenames)
+                if name.endswith(".py")
+            )
+    return sorted(dict.fromkeys(out))
+
+
+def lint_paths(paths, select=None, ignore=None) -> tuple:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(findings, files_scanned)``; findings are sorted by
+    (path, line, col, code).
+    """
+    findings: list = []
+    files = iter_python_files(paths)
+    for file_path in files:
+        with open(file_path, encoding="utf-8") as fp:
+            source = fp.read()
+        findings.extend(
+            lint_source(source, path=file_path, select=select, ignore=ignore)
+        )
+    return sorted(findings, key=lambda f: f.sort_key()), len(files)

@@ -1,0 +1,68 @@
+"""Finding and severity types shared by every lint rule.
+
+A :class:`Finding` is one diagnostic: a rule code anchored to a
+``path:line:col`` with a human message. Findings are value objects —
+the CLI sorts, filters (``--select``/``--ignore``), suppresses
+(``# repro: noqa[REPxxx]``), baselines, and renders them, but never
+mutates them after creation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break the determinism contract outright (wallclock
+    in simulation code, unseeded RNG). ``WARNING`` findings are hazards
+    that need a structural argument to be safe (set iteration, float
+    equality). Both fail the CI gate; severity only orders the report.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __lt__(self, other: "Severity") -> bool:
+        order = {"error": 0, "warning": 1}
+        return order[self.value] < order[other.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by one rule at one source location."""
+
+    code: str  #: rule code, e.g. ``"REP001"``
+    message: str  #: one-line human explanation
+    path: str  #: file the finding is in (as given to the linter)
+    line: int  #: 1-based source line
+    col: int  #: 0-based column, matching ``ast`` node offsets
+    severity: Severity = Severity.ERROR
+    #: the stripped source line, used for baseline fingerprinting so
+    #: grandfathered findings survive unrelated line-number drift
+    source_line: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+    def fingerprint(self) -> tuple:
+        """Identity used by the baseline: stable across pure line drift."""
+        return (self.path, self.code, self.source_line)
+
+    def render(self) -> str:
+        """The canonical ``path:line:col: CODE message`` text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (schema documented in docs/LINT.md)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "source_line": self.source_line,
+        }

@@ -1,0 +1,127 @@
+"""``# repro: noqa[REPxxx] reason=...`` suppression directives.
+
+The project linter deliberately does **not** honor bare ``# noqa``: every
+exemption must name the rule codes it waives and state a reason, so the
+suppression itself documents why the determinism contract still holds at
+that site. Malformed directives are findings in their own right
+(:data:`META_CODE`), not silent no-ops — a typo'd suppression that
+quietly suppressed nothing would be the worst of both worlds.
+
+Grammar (one directive per physical line, anywhere in the comment)::
+
+    # repro: noqa[REP001]            reason=<free text to end of line>
+    # repro: noqa[REP001,REP004]     reason=...
+
+The directive suppresses matching findings **on its own line** only.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding, Severity
+
+#: Code for malformed-suppression findings emitted by this module.
+META_CODE = "REP000"
+
+#: Matches the directive itself; groups: codes blob (may be absent), tail.
+_DIRECTIVE = re.compile(
+    r"#\s*repro:\s*noqa(?P<codes>\[[^\]]*\])?(?P<tail>[^#]*)"
+)
+_CODE = re.compile(r"^REP\d{3}$")
+_REASON = re.compile(r"reason\s*=\s*(?P<text>\S.*)")
+
+
+@dataclass
+class Directive:
+    """One parsed suppression directive."""
+
+    line: int
+    codes: frozenset
+    reason: str
+    #: set by the engine when the directive suppresses at least one finding
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, code: str) -> bool:
+        return code in self.codes
+
+
+def _comments(source: str):
+    """Yield ``(lineno, comment_text)`` for every comment token.
+
+    Tokenizing (rather than scanning raw lines) is what keeps directive
+    *mentions* inside strings and docstrings — docs/LINT.md quotes the
+    grammar, so does this module — from parsing as directives.
+    """
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            yield tok.start[0], tok.string
+
+
+def scan(source: str, path: str) -> tuple:
+    """Parse every directive in ``source``'s comments.
+
+    Returns ``(directives_by_line, malformed_findings)``. A directive
+    that fails validation is reported and **dropped** (it suppresses
+    nothing) — failing open would let a typo waive a real violation.
+    """
+    directives: dict = {}
+    problems: list = []
+
+    def problem(lineno: int, text: str, message: str) -> None:
+        problems.append(
+            Finding(META_CODE, message, path, lineno, 0,
+                    Severity.ERROR, source_line=text.strip())
+        )
+
+    for lineno, text in _comments(source):
+        if "repro:" not in text or "noqa" not in text:
+            continue
+        m = _DIRECTIVE.search(text)
+        if m is None:
+            continue
+        codes_blob = m.group("codes")
+        if not codes_blob:
+            problem(lineno, text,
+                    "bare 'repro: noqa' — name the codes: noqa[REPxxx]")
+            continue
+        codes = frozenset(
+            c.strip() for c in codes_blob[1:-1].split(",") if c.strip()
+        )
+        bad = sorted(c for c in codes if not _CODE.match(c))
+        if not codes or bad:
+            problem(lineno, text,
+                    f"malformed noqa codes {bad or '[]'} — want REPxxx")
+            continue
+        reason_m = _REASON.search(m.group("tail"))
+        if reason_m is None:
+            problem(lineno, text,
+                    f"noqa[{','.join(sorted(codes))}] without reason= — "
+                    "every suppression must say why it is safe")
+            continue
+        directives[lineno] = Directive(
+            lineno, codes, reason_m.group("text").strip()
+        )
+    return directives, problems
+
+
+def apply(findings: list, directives: dict) -> tuple:
+    """Split ``findings`` into (kept, suppressed) per the directives.
+
+    ``META_CODE`` findings are never suppressible — a directive cannot
+    waive the rule that validates directives.
+    """
+    kept: list = []
+    suppressed: list = []
+    for f in findings:
+        d = directives.get(f.line)
+        if f.code != META_CODE and d is not None and d.matches(f.code):
+            d.used = True
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    return kept, suppressed

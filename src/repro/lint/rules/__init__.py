@@ -1,0 +1,50 @@
+"""The rule battery: one class per REPxxx code.
+
+Adding a rule = write a :class:`~repro.lint.visitor.Rule` subclass with
+``visit_<NodeType>`` handlers, import it here, append it to
+:data:`ALL_RULES`, document it in docs/LINT.md, and add a fixture pair
+to tests/lint/test_rules.py. The meta-rule REP000 (malformed
+suppressions) lives in :mod:`repro.lint.noqa` and is always on.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.defaults import MutableDefaultRule
+from repro.lint.rules.engine import EngineDisciplineRule
+from repro.lint.rules.fastpath import FastpathGateRule
+from repro.lint.rules.floateq import FloatEqualityRule
+from repro.lint.rules.handlers import HandlerHygieneRule
+from repro.lint.rules.iteration import IterationOrderRule
+from repro.lint.rules.randomness import RandomnessRule
+from repro.lint.rules.wallclock import WallclockRule
+
+#: Every registered rule class, in code order.
+ALL_RULES = (
+    WallclockRule,       # REP001
+    RandomnessRule,      # REP002
+    IterationOrderRule,  # REP003
+    FloatEqualityRule,   # REP004
+    FastpathGateRule,    # REP005
+    EngineDisciplineRule,  # REP006
+    HandlerHygieneRule,  # REP007
+    MutableDefaultRule,  # REP008
+)
+
+CODES = tuple(r.code for r in ALL_RULES)
+
+
+def make_rules(select=None, ignore=None) -> list:
+    """Instantiate the battery, filtered by code.
+
+    ``select``/``ignore`` are iterables of REPxxx codes; unknown codes
+    raise ValueError so a typo'd ``--select`` cannot silently lint
+    nothing.
+    """
+    known = set(CODES)
+    for name, codes in (("select", select), ("ignore", ignore)):
+        bad = sorted(set(codes or ()) - known)
+        if bad:
+            raise ValueError(f"unknown {name} codes: {', '.join(bad)}")
+    chosen = set(select) if select else known
+    chosen -= set(ignore or ())
+    return [cls() for cls in ALL_RULES if cls.code in chosen]

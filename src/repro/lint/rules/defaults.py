@@ -1,0 +1,63 @@
+"""REP008 — mutable default arguments.
+
+A mutable default is evaluated once at ``def`` time and shared across
+every call — state leaks between supposedly independent simulations
+(two rigs sharing one accidental cache is exactly the cross-run
+contamination the differential tests cannot see). Use ``None`` plus an
+in-body default, or ``dataclasses.field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.visitor import Rule
+
+#: Constructor calls whose result is mutable (beyond the display forms).
+MUTABLE_CTORS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.OrderedDict",
+    "collections.Counter", "collections.deque",
+})
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def _is_mutable(node: ast.AST, ctx) -> bool:
+    if isinstance(node, _MUTABLE_DISPLAYS):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in MUTABLE_CTORS:
+            return True
+        resolved = ctx.resolved_call(node)
+        return resolved in MUTABLE_CTORS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    """Mutable default argument (shared across all calls)."""
+
+    code = "REP008"
+    name = "mutable-default"
+    severity = Severity.ERROR
+
+    def _check(self, node, ctx) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None and _is_mutable(default, ctx):
+                ctx.report(
+                    self, default,
+                    "mutable default argument is shared across calls — use "
+                    "None and default inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef, ctx) -> None:
+        self._check(node, ctx)
+
+    def visit_Lambda(self, node: ast.Lambda, ctx) -> None:
+        self._check(node, ctx)

@@ -1,0 +1,66 @@
+"""REP006 — event-engine discipline.
+
+Determinism hinges on the engine's ``(time, seq)`` heap ordering and on
+virtual time only ever advancing inside :meth:`Engine.step`. Direct
+``heapq`` calls or ``_queue`` pokes outside ``sim/engine.py`` can break
+the seq tiebreaker (same-instant events firing out of scheduling
+order); assigning ``engine.now`` anywhere forges time itself.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.visitor import Rule
+
+#: The one file allowed to touch the queue and the clock.
+ENGINE_FILE = ("repro/sim/engine.py",)
+
+
+class EngineDisciplineRule(Rule):
+    """heapq / Engine._queue / Engine.now mutation outside the engine."""
+
+    code = "REP006"
+    name = "engine-discipline"
+    severity = Severity.ERROR
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        if ctx.path_is(*ENGINE_FILE):
+            return
+        target = ctx.resolved_call(node)
+        if target is not None and target.startswith("heapq."):
+            ctx.report(
+                self, node,
+                f"{target}() outside sim/engine.py — event ordering must go "
+                "through Engine.call_at/call_after (the seq tiebreaker lives "
+                "there)",
+            )
+
+    def visit_Attribute(self, node: ast.Attribute, ctx) -> None:
+        if ctx.path_is(*ENGINE_FILE):
+            return
+        if node.attr == "_queue":
+            ctx.report(
+                self, node,
+                "._queue is the engine's private heap — use "
+                "Engine.call_at/queue_len instead of direct mutation",
+            )
+
+    def _check_target(self, ctx, target: ast.AST) -> None:
+        if isinstance(target, ast.Attribute) and target.attr == "now":
+            ctx.report(
+                self, target,
+                ".now assignment outside sim/engine.py — virtual time only "
+                "advances when the engine dispatches events",
+            )
+
+    def visit_Assign(self, node: ast.Assign, ctx) -> None:
+        if ctx.path_is(*ENGINE_FILE):
+            return
+        for target in node.targets:
+            self._check_target(ctx, target)
+
+    def visit_AugAssign(self, node: ast.AugAssign, ctx) -> None:
+        if not ctx.path_is(*ENGINE_FILE):
+            self._check_target(ctx, node.target)

@@ -1,0 +1,67 @@
+"""REP005 — fast-path gate hygiene.
+
+Every ``repro.sim.fastpath`` flag guards a *semantics-preserving* hot
+path: docs/COSTMODEL.md requires each gated branch to have a slow twin
+producing identical virtual end times, counters, and traces, and the
+differential tests flip one flag at a time. Two structural properties
+make that auditable:
+
+* a gated ``if`` must have an ``else`` (the slow twin), or its body
+  must leave the function (``return``/``raise``/``continue``/``break``)
+  so the fall-through code *is* the slow twin;
+* gates must not nest — a fast path inside another fast path cannot be
+  isolated by single-flag differential testing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.visitor import Rule
+
+#: The switchboard object every gate reads.
+FASTPATH_QUALNAME = "repro.sim.fastpath.FASTPATH"
+
+_TERMINAL = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+def mentions_fastpath(node: ast.AST, ctx) -> bool:
+    """True when ``node``'s subtree reads a ``FASTPATH`` flag."""
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            resolved = ctx.resolve(sub)
+            if resolved is not None and resolved.startswith(FASTPATH_QUALNAME):
+                return True
+    return False
+
+
+class FastpathGateRule(Rule):
+    """FASTPATH-gated if without a slow twin, or nested under a gate."""
+
+    code = "REP005"
+    name = "fastpath-gate"
+    severity = Severity.ERROR
+
+    def visit_If(self, node: ast.If, ctx) -> None:
+        if not mentions_fastpath(node.test, ctx):
+            return
+        for ancestor in ctx.ancestors:
+            if isinstance(ancestor, ast.If) \
+                    and mentions_fastpath(ancestor.test, ctx):
+                ctx.report(
+                    self, node,
+                    "fast-path gate nested under another fast-path gate — "
+                    "single-flag differential tests cannot isolate it",
+                )
+                return
+        if node.orelse:
+            return
+        if isinstance(node.body[-1], _TERMINAL):
+            return  # fall-through code is the slow twin
+        ctx.report(
+            self, node,
+            "fast-path gate has no slow twin — add an else branch, or end "
+            "the gated body with return/raise so the fall-through is the "
+            "slow path",
+        )

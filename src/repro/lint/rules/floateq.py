@@ -1,0 +1,54 @@
+"""REP004 — float equality in runtime arithmetic.
+
+Cost-model math mixes integer nanoseconds with float rates; branching on
+``==``/``!=`` against a float makes control flow depend on the last ulp
+of an intermediate — the classic source of results that differ across
+numpy versions or C libraries. ``assert`` statements are exempt by
+design: exact-equality asserts *are* this repo's determinism contract
+(byte-identical replay checks), and a failing assert is a loud test
+failure, not a silent behavioral fork.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.visitor import Rule
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Syntactically certain to be a float: literal, float(), or division."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "float":
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    return False
+
+
+class FloatEqualityRule(Rule):
+    """== / != against a float expression outside an assert."""
+
+    code = "REP004"
+    name = "float-equality"
+    severity = Severity.WARNING
+
+    def visit_Compare(self, node: ast.Compare, ctx) -> None:
+        if ctx.in_assert():
+            return
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_floatish(left) or _is_floatish(right):
+                ctx.report(
+                    self, node,
+                    "float ==/!= in runtime code — branch on truthiness, an "
+                    "integer representation, or an explicit tolerance",
+                )
+                return

@@ -1,0 +1,73 @@
+"""REP007 — protocol-handler exception hygiene.
+
+XEMEM's failure semantics (PR 4) depend on every swallowed error being
+*accounted for*: timeouts retry with backoff, stray messages bump
+counters, crashes fail waiters. A bare/broad ``except`` that neither
+re-raises nor counts silently eats ``XememTimeout`` and protocol errors
+— the fault-injection suite then passes while recovery is broken.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.visitor import Rule
+
+#: Exception types considered "broad": everything flows through them.
+BROAD = frozenset({"Exception", "BaseException"})
+
+#: Method names whose call marks the handler as accounting for the
+#: error (observability counters / samplers).
+COUNTING_CALLS = frozenset({"inc", "observe", "record"})
+
+
+def _named(node: ast.AST) -> str:
+    """Rightmost identifier of a Name/Attribute exception type."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_broad(type_node) -> bool:
+    if type_node is None:
+        return True  # bare except:
+    if isinstance(type_node, ast.Tuple):
+        return any(_named(e) in BROAD for e in type_node.elts)
+    return _named(type_node) in BROAD
+
+
+def _accounts(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or counts what it swallowed."""
+    for sub in ast.walk(handler):
+        if isinstance(sub, ast.Raise):
+            return True
+        if (isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in COUNTING_CALLS):
+            return True
+    return False
+
+
+class HandlerHygieneRule(Rule):
+    """Bare/broad except that neither re-raises nor counts."""
+
+    code = "REP007"
+    name = "handler-hygiene"
+    severity = Severity.ERROR
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler, ctx) -> None:
+        if not _is_broad(node.type):
+            return
+        if _accounts(node):
+            return
+        what = "bare except:" if node.type is None else \
+            f"except {_named(node.type) or '...'}"
+        ctx.report(
+            self, node,
+            f"{what} swallows XememTimeout/protocol errors without counting "
+            "or re-raising — catch the specific type, re-raise, or bump an "
+            "obs counter",
+        )

@@ -1,0 +1,96 @@
+"""REP003 — iteration whose order the language does not pin down.
+
+Sets and ``vars()``/``__dict__`` views iterate in hash order; directory
+listings come back in filesystem order. When such an order reaches
+simulation state (event scheduling, frame allocation, report rows), two
+hosts — or two interpreter invocations with a different
+``PYTHONHASHSEED`` — replay differently. Dicts are insertion-ordered
+and are fine; the fix is almost always ``sorted(...)`` at the loop
+header.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.visitor import Rule
+
+#: Callables producing unordered collections.
+UNORDERED_CALLS = frozenset({"set", "frozenset", "vars"})
+
+#: Directory-listing calls whose result order is filesystem-dependent.
+LISTING_CALLS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+
+#: Order-insensitive consumers: wrapping in one of these launders the
+#: hazard (sorted pins the order; the reductions ignore it).
+ORDER_SAFE_WRAPPERS = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset",
+})
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+def is_unordered_expr(node: ast.AST) -> bool:
+    """True when ``node`` syntactically yields an unordered collection."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Attribute) and node.attr == "__dict__":
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id in UNORDERED_CALLS:
+            return True
+        # set-algebra methods on a set-typed receiver we can prove
+        if (isinstance(fn, ast.Attribute)
+                and fn.attr in ("union", "intersection", "difference",
+                                "symmetric_difference")
+                and is_unordered_expr(fn.value)):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return is_unordered_expr(node.left) or is_unordered_expr(node.right)
+    return False
+
+
+class IterationOrderRule(Rule):
+    """Iterating a set / vars() / unsorted directory listing."""
+
+    code = "REP003"
+    name = "iteration-order"
+    severity = Severity.WARNING
+
+    def _flag(self, ctx, node: ast.AST, what: str) -> None:
+        ctx.report(
+            self, node,
+            f"iterating {what} — order is interpreter/filesystem dependent "
+            "and can reach simulation state; wrap in sorted(...)",
+        )
+
+    def _check_iter(self, ctx, iter_node: ast.AST) -> None:
+        if is_unordered_expr(iter_node):
+            self._flag(ctx, iter_node, "an unordered set/vars() expression")
+
+    def visit_For(self, node: ast.For, ctx) -> None:
+        self._check_iter(ctx, node.iter)
+
+    def visit_comprehension(self, node: ast.comprehension, ctx) -> None:
+        self._check_iter(ctx, node.iter)
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        target = ctx.resolved_call(node)
+        # list(<set>) / tuple(<set>) / enumerate(<set>) materialize the
+        # unordered order; sorted(<set>) et al. are the sanctioned fix.
+        fn = node.func
+        if (isinstance(fn, ast.Name) and fn.id in ("list", "tuple", "enumerate")
+                and node.args and is_unordered_expr(node.args[0])):
+            self._flag(ctx, node, f"{fn.id}() over a set/vars() expression")
+            return
+        if target in LISTING_CALLS:
+            parent = ctx.parent()
+            if (isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id in ORDER_SAFE_WRAPPERS):
+                return
+            self._flag(ctx, node, f"{target}() output unsorted")

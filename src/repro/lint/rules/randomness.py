@@ -1,0 +1,85 @@
+"""REP002 — unseeded or process-global randomness.
+
+Reproducible fault plans and workloads draw from *owned, seeded*
+generators (``random.Random(plan.seed)``, ``np.random.default_rng(seed)``)
+consumed in virtual-clock event order. The process-global ``random``
+module functions share one hidden stream across every caller — adding a
+draw anywhere reorders everyone else's — and OS-entropy sources
+(``os.urandom``, ``uuid.uuid4``, ``secrets``) are nondeterministic by
+design.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.visitor import Rule
+
+#: The global-RNG module functions (shared hidden state).
+GLOBAL_RANDOM_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+#: Constructors that must receive an explicit seed.
+SEEDED_CTORS = frozenset({
+    "random.Random",
+    "random.SystemRandom",  # never seedable — flagged outright below
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+})
+
+#: OS-entropy sources: nondeterministic regardless of seeding.
+ENTROPY_CALLS = frozenset({"os.urandom", "uuid.uuid4", "uuid.uuid1"})
+
+
+def _has_seed(node: ast.Call) -> bool:
+    """True when the constructor call passes any seed-like argument."""
+    if node.args and not any(
+        isinstance(a, ast.Constant) and a.value is None for a in node.args[:1]
+    ):
+        return True
+    return any(kw.arg in ("seed", "x") for kw in node.keywords)
+
+
+class RandomnessRule(Rule):
+    """Global random module, unseeded generator, or OS entropy source."""
+
+    code = "REP002"
+    name = "randomness"
+    severity = Severity.ERROR
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        target = ctx.resolved_call(node)
+        if target is None:
+            return
+        if target in ENTROPY_CALLS or target.startswith("secrets."):
+            ctx.report(
+                self, node,
+                f"{target}() draws OS entropy — runs can never be replayed; "
+                "derive values from the plan seed instead",
+            )
+            return
+        mod, _, fn = target.rpartition(".")
+        if mod == "random" and fn in GLOBAL_RANDOM_FNS:
+            ctx.report(
+                self, node,
+                f"random.{fn}() uses the process-global RNG — own a seeded "
+                "random.Random(seed) so streams cannot interleave",
+            )
+            return
+        if target in SEEDED_CTORS:
+            if target == "random.SystemRandom":
+                ctx.report(self, node,
+                           "random.SystemRandom is OS entropy — unseedable")
+            elif not _has_seed(node):
+                ctx.report(
+                    self, node,
+                    f"{target}() without a seed falls back to OS entropy — "
+                    "pass the plan/workload seed explicitly",
+                )

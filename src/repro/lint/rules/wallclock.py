@@ -1,0 +1,58 @@
+"""REP001 — wallclock reads outside the allowlisted profiler module.
+
+The simulator's whole determinism contract rests on the virtual clock
+(``Engine.now``): identical runs produce byte-identical traces, figures,
+and fault schedules. Any host-time read that can reach simulation state
+breaks that silently. The only sanctioned consumer is the opt-in
+wallclock profiler in ``repro.obs.engine_hooks``, whose output never
+enters traces or metrics.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.visitor import Rule
+
+#: Host-time entry points. Resolution is import-aware, so
+#: ``from time import perf_counter as pc; pc()`` is still caught.
+WALLCLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Files allowed to read host time without a suppression.
+ALLOWLIST = ("repro/obs/engine_hooks.py",)
+
+
+class WallclockRule(Rule):
+    """Host-time call outside the sanctioned profiler module."""
+
+    code = "REP001"
+    name = "wallclock"
+    severity = Severity.ERROR
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        if ctx.path_is(*ALLOWLIST):
+            return
+        target = ctx.resolved_call(node)
+        if target in WALLCLOCK_CALLS:
+            ctx.report(
+                self, node,
+                f"wallclock read {target}() — simulation code must use the "
+                "virtual clock (Engine.now); host time is allowed only in "
+                "repro.obs.engine_hooks",
+            )

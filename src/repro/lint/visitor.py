@@ -1,0 +1,75 @@
+"""Single-pass AST dispatch: one tree walk feeds every rule.
+
+Rules declare interest by defining ``visit_<NodeType>`` methods (same
+naming convention as :class:`ast.NodeVisitor`); the engine builds one
+dispatch table mapping node type → bound handlers and walks the tree
+exactly once, maintaining the ancestor stack on the shared
+:class:`~repro.lint.context.FileContext`. With ~8 rules and a handful
+of interesting node types each, this is O(nodes + hits) rather than
+O(rules × nodes).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint import noqa as noqa_mod
+from repro.lint.context import FileContext
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`code`, :attr:`name`, :attr:`severity`, and a
+    docstring (the first line becomes the ``--list-rules`` summary), and
+    implement ``visit_<NodeType>(node, ctx)`` handlers. Rules are
+    instantiated once per file, so per-file state (e.g. REP005's gate
+    stack) lives on ``self``.
+    """
+
+    code: str = ""
+    name: str = ""
+    severity = None  # set by subclasses (Severity.ERROR / WARNING)
+
+    @classmethod
+    def summary(cls) -> str:
+        return (cls.__doc__ or "").strip().splitlines()[0]
+
+    def handlers(self) -> dict:
+        """Map of node type → bound handler, from visit_* methods."""
+        table: dict = {}
+        for attr in dir(self):
+            if not attr.startswith("visit_"):
+                continue
+            node_type = getattr(ast, attr[len("visit_"):], None)
+            if node_type is not None:
+                table[node_type] = getattr(self, attr)
+        return table
+
+
+def run_rules(ctx: FileContext, rules: list) -> list:
+    """Run ``rules`` over ``ctx``'s tree in one walk; returns findings.
+
+    Findings suppressed by a valid same-line ``# repro: noqa[...]``
+    directive are dropped here; malformed directives come back as
+    REP000 findings. The result is sorted by location.
+    """
+    dispatch: dict = {}
+    for rule in rules:
+        for node_type, handler in rule.handlers().items():
+            dispatch.setdefault(node_type, []).append(handler)
+
+    def walk(node: ast.AST) -> None:
+        for handler in dispatch.get(type(node), ()):
+            handler(node, ctx)
+        ctx.ancestors.append(node)
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+        ctx.ancestors.pop()
+
+    walk(ctx.tree)
+
+    directives, malformed = noqa_mod.scan(ctx.source, ctx.path)
+    kept, _suppressed = noqa_mod.apply(ctx.findings, directives)
+    kept.extend(malformed)
+    return sorted(kept, key=lambda f: f.sort_key())

@@ -70,7 +70,7 @@ class Process(Awaitable):
         except StopIteration as stop:
             self._finish(stop.value, None)
             return
-        except BaseException as err:  # noqa: BLE001 - propagate into waiters
+        except BaseException as err:  # noqa: BLE001  # repro: noqa[REP007] reason=exception becomes the process result and re-raises in every waiter via _finish
             self._finish(None, err)
             return
         if not isinstance(target, Awaitable):

@@ -60,6 +60,15 @@ def test_empty_plan_detection():
     assert not FaultPlan(heartbeats=True, horizon_ns=1_000_000).empty
 
 
+def test_empty_plan_detection_avoids_float_equality():
+    # Regression (REP004 cleanup): `empty` used to compare
+    # ipi_loss_prob == 0.0; the truthiness form must treat both float
+    # and integer zero as "off" and any positive probability as armed.
+    assert FaultPlan(ipi_loss_prob=0.0).empty
+    assert FaultPlan(ipi_loss_prob=0).empty
+    assert not FaultPlan(ipi_loss_prob=1e-12).empty
+
+
 @pytest.mark.parametrize("bad", [
     dict(drop_prob=1.5),
     dict(dup_prob=-0.1),

@@ -1,0 +1,74 @@
+"""Baseline semantics: grandfathering, line drift, multiset matching."""
+
+import json
+
+from repro.lint import Baseline, lint_source
+
+DIRTY = "import time\nt = time.time()\n"
+
+
+def findings_of(src, path="pkg/mod.py"):
+    return lint_source(src, path=path)
+
+
+def test_write_then_split_grandfathers(tmp_path):
+    path = tmp_path / "baseline.json"
+    found = findings_of(DIRTY)
+    assert Baseline.write(str(path), found) == 1
+    new, old = Baseline.load(str(path)).split(found)
+    assert new == [] and len(old) == 1
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    bl = Baseline.load(str(tmp_path / "nope.json"))
+    assert len(bl) == 0
+    new, old = bl.split(findings_of(DIRTY))
+    assert len(new) == 1 and old == []
+
+
+def test_fingerprint_survives_line_drift(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.write(str(path), findings_of(DIRTY))
+    drifted = "import time\n\n\n# comment pushed the line down\nt = time.time()\n"
+    new, old = Baseline.load(str(path)).split(findings_of(drifted))
+    assert new == [] and len(old) == 1
+
+
+def test_multiset_matching_consumes_entries(tmp_path):
+    # two identical violations, one baselined -> exactly one stays new
+    path = tmp_path / "baseline.json"
+    Baseline.write(str(path), findings_of(DIRTY))
+    doubled = "import time\nt = time.time()\nu = time.time()\n"
+    new, old = Baseline.load(str(path)).split(findings_of(doubled))
+    assert len(new) == 1 and len(old) == 1
+
+
+def test_baseline_is_path_sensitive(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.write(str(path), findings_of(DIRTY, path="a.py"))
+    new, old = Baseline.load(str(path)).split(findings_of(DIRTY, path="b.py"))
+    assert len(new) == 1 and old == []
+
+
+def test_unsupported_version_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    try:
+        Baseline.load(str(path))
+    except ValueError as exc:
+        assert "version" in str(exc)
+    else:
+        raise AssertionError("expected ValueError")
+
+
+def test_file_format_is_stable_json(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.write(str(path), findings_of(DIRTY))
+    doc = json.loads(path.read_text())
+    assert doc["version"] == 1
+    (entry,) = doc["findings"]
+    assert entry == {
+        "path": "pkg/mod.py",
+        "code": "REP001",
+        "source_line": "t = time.time()",
+    }

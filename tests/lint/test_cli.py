@@ -1,0 +1,162 @@
+"""CLI contract: exit codes, JSON schema, dirty-fixture gate behavior."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main as lint_main
+from repro.lint.rules import CODES
+
+#: One violation of every rule, REP001-REP008.
+DIRTY_FIXTURE = """\
+import heapq
+import random
+import time
+
+from repro.sim.fastpath import FASTPATH
+
+
+def wall():
+    return time.time()
+
+
+def draw():
+    return random.random()
+
+
+def materialize(a):
+    return list(set(a))
+
+
+def compare(x):
+    return x == 0.5
+
+
+def gate():
+    if FASTPATH.walk_cache:
+        x = 1
+    return 0
+
+
+def poke(q):
+    heapq.heappush(q, 1)
+
+
+def swallow():
+    try:
+        wall()
+    except Exception:
+        pass
+
+
+def defaults(x=[]):
+    return x
+"""
+
+
+@pytest.fixture
+def dirty(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY_FIXTURE)
+    return path
+
+
+def run(args, capsys):
+    code = lint_main([str(a) for a in args])
+    return code, capsys.readouterr().out
+
+
+def test_dirty_fixture_trips_every_rule(dirty, tmp_path, capsys):
+    code, out = run([dirty, "--format", "json",
+                     "--baseline", tmp_path / "none.json"], capsys)
+    assert code == 1
+    report = json.loads(out)
+    assert sorted(report["counts"]) == sorted(CODES)
+    assert all(n == 1 for n in report["counts"].values())
+    assert report["ok"] is False
+
+
+def test_json_schema(dirty, tmp_path, capsys):
+    code, out = run([dirty, "--format", "json",
+                     "--baseline", tmp_path / "none.json"], capsys)
+    report = json.loads(out)
+    assert report["version"] == 1
+    assert report["files_scanned"] == 1
+    assert sorted(report) == ["baselined", "counts", "files_scanned",
+                              "findings", "ok", "version"]
+    for f in report["findings"]:
+        assert sorted(f) == ["code", "col", "line", "message", "path",
+                             "severity", "source_line"]
+        assert f["severity"] in ("error", "warning")
+        assert f["line"] >= 1 and f["col"] >= 0
+
+
+def test_text_format_renders_locations(dirty, tmp_path, capsys):
+    code, out = run([dirty, "--baseline", tmp_path / "none.json"], capsys)
+    assert code == 1
+    assert f"{dirty}:9:" in out  # the time.time() line
+    assert "REP001" in out and "8 findings" in out
+
+
+def test_select_and_ignore(dirty, tmp_path, capsys):
+    code, out = run([dirty, "--format", "json", "--select", "REP001",
+                     "--baseline", tmp_path / "none.json"], capsys)
+    assert json.loads(out)["counts"] == {"REP001": 1}
+    code, out = run([dirty, "--format", "json", "--ignore",
+                     "REP001,REP004", "--baseline", tmp_path / "none.json"],
+                    capsys)
+    counts = json.loads(out)["counts"]
+    assert "REP001" not in counts and "REP004" not in counts
+    assert len(counts) == 6
+
+
+def test_unknown_select_code_is_usage_error(dirty, capsys):
+    with pytest.raises(SystemExit) as exc:
+        lint_main([str(dirty), "--select", "REP999"])
+    assert exc.value.code == 2
+
+
+def test_write_baseline_then_clean(dirty, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code, out = run([dirty, "--write-baseline", "--baseline", baseline],
+                    capsys)
+    assert code == 0 and "8 findings" in out
+    code, out = run([dirty, "--baseline", baseline], capsys)
+    assert code == 0 and "(8 baselined)" in out
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x):\n    return x + 1\n")
+    code, out = run([clean, "--baseline", tmp_path / "none.json"], capsys)
+    assert code == 0 and "clean: 1 files" in out
+
+
+def test_no_python_files_is_usage_error(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert lint_main([str(empty)]) == 2
+
+
+def test_output_file(dirty, tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    code, _out = run([dirty, "--format", "json", "--output", report_path,
+                      "--baseline", tmp_path / "none.json"], capsys)
+    assert code == 1
+    assert json.loads(report_path.read_text())["ok"] is False
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in CODES + ("REP000",):
+        assert code in out
+
+
+def test_repro_main_dispatches_lint(dirty, tmp_path, capsys):
+    from repro.__main__ import main as repro_main
+
+    assert repro_main(["lint", str(dirty),
+                       "--baseline", str(tmp_path / "none.json")]) == 1
+    out = capsys.readouterr().out
+    assert "REP005" in out

@@ -1,0 +1,79 @@
+"""Suppression semantics: the ``# repro: noqa[REPxxx] reason=...`` grammar."""
+
+from repro.lint import lint_source
+
+WALLCLOCK = "import time\nt = time.time(){comment}\n"
+
+
+def codes(src, **kw):
+    return sorted(f.code for f in lint_source(src, **kw))
+
+
+def test_valid_directive_suppresses():
+    src = WALLCLOCK.format(
+        comment="  # repro: noqa[REP001] reason=progress display only")
+    assert codes(src) == []
+
+
+def test_directive_only_covers_its_own_line():
+    src = ("import time\n"
+           "# repro: noqa[REP001] reason=wrong line\n"
+           "t = time.time()\n")
+    assert codes(src) == ["REP001"]
+
+
+def test_wrong_code_does_not_suppress():
+    src = WALLCLOCK.format(comment="  # repro: noqa[REP002] reason=mismatch")
+    assert codes(src) == ["REP001"]
+
+
+def test_multiple_codes():
+    src = ("import time\n"
+           "def f(x=[]):\n"
+           "    return time.time(), x  "
+           "# repro: noqa[REP001,REP008] reason=fixture\n")
+    # only the wallclock call sits on the directive's line
+    assert codes(src) == ["REP008"]
+
+
+def test_bare_noqa_is_a_finding():
+    src = WALLCLOCK.format(comment="  # repro: noqa")
+    assert codes(src) == ["REP000", "REP001"]
+
+
+def test_missing_reason_is_a_finding_and_does_not_suppress():
+    src = WALLCLOCK.format(comment="  # repro: noqa[REP001]")
+    assert codes(src) == ["REP000", "REP001"]
+
+
+def test_malformed_code_is_a_finding():
+    src = WALLCLOCK.format(comment="  # repro: noqa[REP1] reason=typo")
+    assert codes(src) == ["REP000", "REP001"]
+
+
+def test_directive_text_in_string_is_ignored():
+    src = 's = "# repro: noqa[broken"\n'
+    assert codes(src) == []
+
+
+def test_directive_in_docstring_is_ignored():
+    src = '"""Docs quoting # repro: noqa[REPxxx] reason=... grammar."""\n'
+    assert codes(src) == []
+
+
+def test_stacked_comment_markers_parse():
+    # ruff and repro directives share a line (the sim/process.py idiom)
+    src = WALLCLOCK.format(
+        comment="  # noqa: BLE001  # repro: noqa[REP001] reason=shared line")
+    assert codes(src) == []
+
+
+def test_reason_survives_with_other_noqa_first():
+    src = WALLCLOCK.format(comment="  # repro: noqa[REP001] reason=a b c # x")
+    assert codes(src) == []
+
+
+def test_syntax_error_reports_rep000():
+    found = lint_source("def broken(:\n")
+    assert [f.code for f in found] == ["REP000"]
+    assert "syntax error" in found[0].message

@@ -1,0 +1,258 @@
+"""Fixture-driven positive/negative tests, one battery per rule.
+
+Each case is ``(snippet, expected_codes)`` — the snippet is linted in
+isolation (optionally under a pretend path) and the produced code
+*multiset* must match exactly, so a fixture can assert both "fires
+once" and "stays quiet".
+"""
+
+from repro.lint import lint_source
+
+
+def check(snippet, expected, path="pkg/mod.py", **kw):
+    found = sorted(f.code for f in lint_source(snippet, path=path, **kw))
+    assert found == sorted(expected), (
+        f"expected {sorted(expected)} got {found} for:\n{snippet}"
+    )
+
+
+# -- REP001 wallclock --------------------------------------------------------
+
+def test_rep001_direct_call():
+    check("import time\nt = time.time()\n", ["REP001"])
+
+
+def test_rep001_from_import_alias():
+    check("from time import perf_counter as pc\npc()\n", ["REP001"])
+
+
+def test_rep001_datetime_now():
+    check("import datetime\nd = datetime.datetime.now()\n", ["REP001"])
+
+
+def test_rep001_sleep_is_not_a_clock_read():
+    check("import time\ntime.sleep(1)\n", [])
+
+
+def test_rep001_profiler_module_allowlisted():
+    check("import time\nt0 = time.perf_counter()\n", [],
+          path="src/repro/obs/engine_hooks.py")
+
+
+def test_rep001_local_name_shadowing_not_flagged():
+    # `time` here is a local, not the module; resolution must say None.
+    check("def f(time):\n    return time.time()\n", [])
+
+
+# -- REP002 randomness -------------------------------------------------------
+
+def test_rep002_global_module_function():
+    check("import random\nx = random.random()\n", ["REP002"])
+
+
+def test_rep002_unseeded_random_instance():
+    check("import random\nr = random.Random()\n", ["REP002"])
+
+
+def test_rep002_explicit_none_seed_is_unseeded():
+    check("import random\nr = random.Random(None)\n", ["REP002"])
+
+
+def test_rep002_seeded_random_instance_ok():
+    check("import random\nr = random.Random(42)\n", [])
+
+
+def test_rep002_os_urandom_and_uuid4():
+    check("import os\nimport uuid\nos.urandom(8)\nuuid.uuid4()\n",
+          ["REP002", "REP002"])
+
+
+def test_rep002_numpy_default_rng():
+    check("import numpy as np\nrng = np.random.default_rng()\n", ["REP002"])
+    check("import numpy as np\nrng = np.random.default_rng(7)\n", [])
+
+
+def test_rep002_instance_methods_ok():
+    # Draws on an owned (presumably seeded) generator are the sanctioned
+    # pattern; only the global-module functions are flagged.
+    check("def f(rng):\n    return rng.choice([1, 2])\n", [])
+
+
+# -- REP003 iteration order --------------------------------------------------
+
+def test_rep003_for_over_set_literal():
+    check("for x in {1, 2, 3}:\n    pass\n", ["REP003"])
+
+
+def test_rep003_set_difference():
+    check("def f(a, b):\n    for x in set(a) - set(b):\n        pass\n",
+          ["REP003"])
+
+
+def test_rep003_list_of_set():
+    check("def f(a):\n    return list(set(a))\n", ["REP003"])
+
+
+def test_rep003_comprehension_over_vars():
+    check("def f(o):\n    return [k for k in vars(o)]\n", ["REP003"])
+
+
+def test_rep003_unsorted_listdir():
+    check("import os\ndef f(p):\n    return os.listdir(p)\n", ["REP003"])
+
+
+def test_rep003_sorted_launders():
+    check("import os\ndef f(a, p):\n"
+          "    for x in sorted(set(a)):\n        pass\n"
+          "    return sorted(os.listdir(p))\n", [])
+
+
+def test_rep003_dict_iteration_ok():
+    check("def f(d):\n    for k in d:\n        pass\n", [])
+
+
+def test_rep003_len_of_set_ok():
+    check("def f(a):\n    return len(set(a))\n", [])
+
+
+# -- REP004 float equality ---------------------------------------------------
+
+def test_rep004_float_literal():
+    check("def f(x):\n    return x == 1.5\n", ["REP004"])
+
+
+def test_rep004_division_operand():
+    check("def f(a, b, c):\n    if a / b != c:\n        return 1\n",
+          ["REP004"])
+
+
+def test_rep004_assert_exempt():
+    check("def f(x):\n    assert x == 1.5\n", [])
+
+
+def test_rep004_integer_comparison_ok():
+    check("def f(x):\n    return x == 1\n", [])
+
+
+# -- REP005 fastpath gates ---------------------------------------------------
+
+_FP = "from repro.sim.fastpath import FASTPATH\n"
+
+
+def test_rep005_gate_without_twin():
+    check(_FP + "def f():\n"
+          "    if FASTPATH.walk_cache:\n        x = 1\n    return 2\n",
+          ["REP005"])
+
+
+def test_rep005_nested_gates():
+    check(_FP + "def f():\n"
+          "    if FASTPATH.walk_cache:\n"
+          "        if FASTPATH.range_vectorize:\n            return 1\n"
+          "        return 2\n"
+          "    return 3\n",
+          ["REP005"])
+
+
+def test_rep005_else_twin_ok():
+    check(_FP + "def f():\n"
+          "    if FASTPATH.engine_slots:\n        a = 1\n"
+          "    else:\n        a = 2\n    return a\n", [])
+
+
+def test_rep005_early_return_twin_ok():
+    check(_FP + "def f():\n"
+          "    if FASTPATH.ipi_batching:\n        return 1\n"
+          "    return 2\n", [])
+
+
+def test_rep005_negated_gate_early_return_ok():
+    check(_FP + "def f(n):\n"
+          "    if not FASTPATH.fault_vectorize or n <= 0:\n"
+          "        return False\n"
+          "    return True\n", [])
+
+
+def test_rep005_unrelated_if_ok():
+    check("def f(x):\n    if x:\n        y = 1\n    return 0\n", [])
+
+
+# -- REP006 engine discipline ------------------------------------------------
+
+def test_rep006_heapq_outside_engine():
+    check("import heapq\ndef f(q):\n    heapq.heappush(q, 1)\n", ["REP006"])
+
+
+def test_rep006_queue_poke():
+    check("def f(engine, cb):\n    engine._queue.append(cb)\n", ["REP006"])
+
+
+def test_rep006_now_assignment():
+    check("def f(engine):\n    engine.now = 5\n", ["REP006"])
+    check("def f(engine):\n    engine.now += 5\n", ["REP006"])
+
+
+def test_rep006_now_read_ok():
+    check("def f(engine):\n    return engine.now\n", [])
+
+
+def test_rep006_engine_file_exempt():
+    check("import heapq\ndef f(q):\n    heapq.heappush(q, 1)\n", [],
+          path="src/repro/sim/engine.py")
+
+
+# -- REP007 handler hygiene --------------------------------------------------
+
+def test_rep007_swallowing_broad_except():
+    check("try:\n    f()\nexcept Exception:\n    pass\n", ["REP007"])
+
+
+def test_rep007_bare_except():
+    check("try:\n    f()\nexcept:\n    pass\n", ["REP007"])
+
+
+def test_rep007_reraise_ok():
+    check("try:\n    f()\nexcept Exception:\n    raise\n", [])
+
+
+def test_rep007_counting_ok():
+    check("import repro.obs as obs\n"
+          "try:\n    f()\n"
+          "except Exception:\n    obs.get().counter('x').inc()\n", [])
+
+
+def test_rep007_narrow_except_ok():
+    check("try:\n    f()\nexcept ValueError:\n    pass\n", [])
+
+
+def test_rep007_broad_in_tuple():
+    check("try:\n    f()\nexcept (ValueError, Exception):\n    pass\n",
+          ["REP007"])
+
+
+# -- REP008 mutable defaults -------------------------------------------------
+
+def test_rep008_list_default():
+    check("def f(x=[]):\n    return x\n", ["REP008"])
+
+
+def test_rep008_dict_and_ctor_defaults():
+    check("def f(x={}, y=set()):\n    return x, y\n", ["REP008", "REP008"])
+
+
+def test_rep008_lambda_and_kwonly():
+    check("g = lambda x=[]: x\n", ["REP008"])
+    check("def f(*, x=dict()):\n    return x\n", ["REP008"])
+
+
+def test_rep008_immutable_defaults_ok():
+    check("def f(x=None, y=(), z='s', n=3):\n    return x, y, z, n\n", [])
+
+
+# -- select / ignore ---------------------------------------------------------
+
+def test_select_restricts_battery():
+    src = "import time\ndef f(x=[]):\n    return time.time()\n"
+    check(src, ["REP001", "REP008"])
+    check(src, ["REP001"], select=["REP001"])
+    check(src, ["REP008"], ignore=["REP001"])
