@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test audit chaos lint lint-repro bench bench-compare figures examples clean
+.PHONY: install test audit chaos lint lint-repro bench bench-compare serve-report figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +42,13 @@ bench-output:
 bench-compare:
 	$(PYTHON) -m pytest benchmarks/test_simulator_speed.py::test_speed_fastpath_1gib_attach_speedup -q
 	$(PYTHON) -m repro.obs.bench benchmarks/baselines/BENCH_speed.json benchmarks/results/BENCH_speed.json --tolerance 0.15
+	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q
+	$(PYTHON) -m repro.obs.bench benchmarks/baselines/BENCH_obs_overhead.json benchmarks/results/BENCH_obs_overhead.json --tolerance 0.15
+
+# The full serving-telemetry pipeline: closed-loop sessions, time-series,
+# SLO verdicts, journeys, and every exporter under serve-report/.
+serve-report:
+	$(PYTHON) -m repro serve-report --seed 0 --out-dir serve-report
 
 figures:
 	$(PYTHON) -m repro all

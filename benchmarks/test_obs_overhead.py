@@ -4,8 +4,8 @@ The differential tests (``tests/obs/test_nonperturbation.py``) prove
 observability never changes *what* the simulation computes; this
 benchmark bounds what it costs in host wall clock. A Fig. 5-scale
 attach/touch/detach workload runs dark and then under full span tracing
-+ metrics; the slowdown must stay under 25%, or the "default-off,
-cheap-when-on" contract of ``repro.obs`` is broken.
++ metrics + time-series windows; the slowdown must stay under 25%, or
+the "default-off, cheap-when-on" contract of ``repro.obs`` is broken.
 
 Emits ``benchmarks/results/BENCH_obs_overhead.json`` for the
 ``make bench-compare`` / CI regression gate.
@@ -24,7 +24,8 @@ from repro.xemem import XpmemApi
 def _fig5_scale_cycle_seconds(observed: bool, cycles: int, touches: int,
                               npages: int) -> float:
     """Wall time for the Fig. 5 shape (one standing 1 GiB export,
-    repeated attach/touch/detach), optionally under tracing+metrics."""
+    repeated attach/touch/detach), optionally under the full pipeline
+    (tracing + metrics + tumbling time-series windows)."""
 
     def measure() -> float:
         rig = build_cokernel_system(num_cokernels=1)
@@ -56,7 +57,7 @@ def _fig5_scale_cycle_seconds(observed: bool, cycles: int, touches: int,
         return time.perf_counter() - t0
 
     if observed:
-        with obs.observing(trace=True, metrics=True):
+        with obs.observing(trace=True, metrics=True, timeseries=True):
             return measure()
     return measure()
 
@@ -84,6 +85,10 @@ def test_obs_overhead_under_25pct_at_fig5_scale():
         "touches_per_cycle": touches,
         "dark_seconds": round(dark, 6),
         "observed_seconds": round(observed, 6),
+        # The baseline gate compares the ratio, not the absolute seconds:
+        # wall-clock varies run-to-run and machine-to-machine, but the
+        # observed/dark ratio is measured within one run and is stable.
+        "overhead_ratio": round(observed / dark, 4),
         "overhead_pct": round(overhead_pct, 2),
         "max_overhead_pct": 25.0,
     }, indent=2) + "\n")

@@ -13,8 +13,15 @@ Usage::
     python -m repro all
     python -m repro chaos [--seed N] [--plan SPEC] [--cokernels N] [--ops N]
     python -m repro inspect trace.json [--attribute]
-    python -m repro report trace.json
+    python -m repro report trace.json [--json]
+    python -m repro serve-report [--seed N] [--sessions N] [--slo SPEC]
+                                 [--out-dir DIR] [--fail-on-violation]
     python -m repro lint [paths...] [--format text|json] [--select ...]
+
+``report`` exits 3 when the trace was truncated by the span ring cap
+(attribution coverage below 100% due to drops). ``serve-report`` runs
+the closed-loop serving scenario under the full telemetry pipeline
+(time-series, SLOs, journeys, exporters) — see repro.obs.serve_cli.
 
 Each command builds the experiment from scratch, runs it on the virtual
 clock, and prints the same rows/series the paper reports.
@@ -260,19 +267,51 @@ def _inspect(args) -> str:
     return out
 
 
-def _report(args) -> str:
-    """Table-2-style per-subsystem cost breakdown of a trace file."""
+def _report(args):
+    """Table-2-style per-subsystem cost breakdown of a trace file.
+
+    Returns ``(text, exit_code)``: exit 3 when spans were dropped by the
+    ring cap, so CI treats a truncated attribution as a failure instead
+    of silently under-counting.
+    """
     if not args.target:
-        raise SystemExit("usage: python -m repro report <trace.json>")
+        raise SystemExit("usage: python -m repro report <trace.json> [--json]")
     from repro.obs import analysis
 
     trace = _load_trace(args.target)
+    code = 3 if trace.dropped else 0
+    if getattr(args, "json", False):
+        doc = {
+            "source": args.target,
+            "spans": len(trace.spans),
+            "dropped": trace.dropped,
+            "truncated": bool(trace.dropped),
+        }
+        if trace.spans:
+            attribution = analysis.attribute(trace)
+            doc.update(
+                total_ns=attribution.total_ns,
+                attributed_ns=attribution.attributed_ns,
+                coverage=attribution.coverage,
+                by_subsystem=attribution.by_subsystem,
+                operations=[
+                    {
+                        "name": op.name,
+                        "count": op.count,
+                        "total_ns": op.total_ns,
+                        "by_subsystem": op.by_subsystem,
+                        "critical_path": [[n, ns] for n, ns in op.critical_path],
+                    }
+                    for op in attribution.operations
+                ],
+            )
+        return json.dumps(doc, sort_keys=True, indent=2), code
     if not trace.spans:
-        return f"{args.target}: no spans recorded"
+        return f"{args.target}: no spans recorded", code
     warning = _dropped_warning(trace, args.target) if trace.dropped else ""
     return warning + analysis.render_report(
         analysis.attribute(trace), source=args.target
-    )
+    ), code
 
 
 def _chaos(args) -> str:
@@ -321,6 +360,12 @@ def main(argv=None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["serve-report"]:
+        # Same delegation pattern: the serving-telemetry pipeline owns
+        # its argument surface (docs/OBSERVABILITY.md).
+        from repro.obs.serve_cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the XEMEM paper's evaluation figures.",
@@ -332,6 +377,8 @@ def main(argv=None) -> int:
                         help="trace file for the 'inspect'/'report' commands")
     parser.add_argument("--attribute", action="store_true",
                         help="inspect: add the per-subsystem cost attribution")
+    parser.add_argument("--json", action="store_true",
+                        help="report: machine-readable JSON instead of tables")
     parser.add_argument("--reps", type=int, default=5,
                         help="attachments per measurement (paper: 500)")
     parser.add_argument("--runs", type=int, default=3,
@@ -367,8 +414,9 @@ def main(argv=None) -> int:
         print(_inspect(args))
         return 0
     if args.command == "report":
-        print(_report(args))
-        return 0
+        text, code = _report(args)
+        print(text)
+        return code
     if args.command == "chaos":
         print(_chaos(args))
         return 0

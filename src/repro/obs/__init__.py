@@ -18,7 +18,13 @@ On top of those sit the analysis layers:
   (``REPRO_AUDIT=1``), raising :class:`~repro.obs.audit.AuditViolation`
   with span context when simulated kernel state drifts;
 * :mod:`repro.obs.bench` — the ``BENCH_*.json`` regression comparator
-  behind ``make bench-compare`` and the CI perf gate.
+  behind ``make bench-compare`` and the CI perf gate;
+* :mod:`repro.obs.timeseries` — tumbling-window aggregation of the
+  metrics registry on the virtual clock (``observing(timeseries=True)``);
+* :mod:`repro.obs.slo` — declarative latency/error objectives evaluated
+  deterministically against the time-series, with journey context;
+* :mod:`repro.obs.export` — Prometheus text, folded-stack flamegraphs,
+  and the self-contained HTML dashboard (``python -m repro serve-report``).
 
 Usage from instrumentation sites::
 
@@ -37,11 +43,13 @@ Usage from drivers (the CLI does exactly this)::
     print(ctx.metrics.to_json())
 """
 
-from repro.obs import analysis, audit
+from repro.obs import analysis, audit, export, slo, timeseries
 from repro.obs.audit import Auditor, AuditViolation
 from repro.obs.context import ObsContext, get, install, observing, reset
 from repro.obs.engine_hooks import EngineObserver
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slo import SloReport, SloSpec, SloViolation
+from repro.obs.timeseries import TimeSeriesHook, TimeSeriesRecorder
 from repro.obs.tracer import RingBuffer, Span, Tracer
 
 __all__ = [
@@ -54,12 +62,20 @@ __all__ = [
     "MetricsRegistry",
     "ObsContext",
     "RingBuffer",
+    "SloReport",
+    "SloSpec",
+    "SloViolation",
     "Span",
+    "TimeSeriesHook",
+    "TimeSeriesRecorder",
     "Tracer",
     "analysis",
     "audit",
+    "export",
     "get",
     "install",
     "observing",
     "reset",
+    "slo",
+    "timeseries",
 ]

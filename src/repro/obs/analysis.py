@@ -350,6 +350,153 @@ def attribute(trace: TraceData) -> Attribution:
     )
 
 
+# -- request journeys ----------------------------------------------------------
+
+
+@dataclass
+class Journey:
+    """Everything one request did, reassembled across enclaves.
+
+    Protocol sites tag their spans with the request's ``req_id``
+    (allocated once per request by the xemem module and carried in every
+    command/response payload); untagged descendants inherit the nearest
+    tagged ancestor's id. A journey is the set of spans sharing one id —
+    client op, channel transfers, owner/NS serving — regardless of which
+    enclave or process recorded them.
+    """
+
+    req_id: str
+    op: str                       #: name of the earliest tagged span
+    start_ns: int
+    end_ns: int
+    span_count: int
+    #: Exclusive time of member spans, split by subsystem bucket.
+    by_subsystem: Dict[str, int]
+    #: Time-ordered (name, inclusive ns) of the journey's phase roots —
+    #: member spans whose parent is outside the journey.
+    critical_path: List[Tuple[str, int]]
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def to_doc(self) -> dict:
+        """Plain-dict rendering (sorted keys inside) for JSON export."""
+        return {
+            "req_id": self.req_id,
+            "op": self.op,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "span_count": self.span_count,
+            "by_subsystem": dict(
+                sorted(self.by_subsystem.items(), key=lambda kv: (-kv[1], kv[0]))
+            ),
+            "critical_path": [[name, ns] for name, ns in self.critical_path],
+        }
+
+
+def journeys(trace: TraceData) -> List[Journey]:
+    """Group a trace's spans into per-request journeys by ``req_id``.
+
+    Returns journeys sorted by (start, req_id); spans with no tag
+    anywhere on their ancestor chain belong to no journey.
+    """
+    members: Dict[str, List[SpanNode]] = {}
+    tagged: Dict[str, List[SpanNode]] = {}
+
+    def walk(node: SpanNode, inherited: Optional[str]) -> None:
+        own = node.attrs.get("req_id")
+        rid = own if isinstance(own, str) and own else inherited
+        if rid is not None:
+            members.setdefault(rid, []).append(node)
+            if own == rid and own is not None:
+                tagged.setdefault(rid, []).append(node)
+        for child in node.children:
+            walk(child, rid)
+
+    for root in trace.roots:
+        walk(root, None)
+
+    out: List[Journey] = []
+    for rid, nodes in members.items():
+        in_journey = set(id(n) for n in nodes)
+        explicit = tagged.get(rid, nodes)
+        primary = min(explicit, key=lambda n: (n.start_ns, n.span_id or 0))
+        by_subsystem: Dict[str, int] = {}
+        for node in nodes:
+            for bucket, ns in _split_buckets(node).items():
+                if ns:
+                    by_subsystem[bucket] = by_subsystem.get(bucket, 0) + ns
+        phase_roots = sorted(
+            (n for n in nodes
+             if not any(
+                 id(p) in in_journey for p in _ancestors(n, trace)
+             )),
+            key=lambda n: (n.start_ns, n.span_id or 0),
+        )
+        out.append(
+            Journey(
+                req_id=rid,
+                op=primary.name,
+                start_ns=min(n.start_ns for n in nodes),
+                end_ns=max(n.end_ns for n in nodes),
+                span_count=len(nodes),
+                by_subsystem=by_subsystem,
+                critical_path=[(n.name, n.duration_ns) for n in phase_roots],
+            )
+        )
+    out.sort(key=lambda j: (j.start_ns, j.req_id))
+    return out
+
+
+def _ancestors(node: SpanNode, trace: TraceData):
+    """Parent chain of a node (via span ids), root-most last."""
+    by_id = getattr(trace, "_by_id", None)
+    if by_id is None:
+        by_id = {s.span_id: s for s in trace.spans if s.span_id is not None}
+        trace._by_id = by_id
+    seen = set()
+    cur = node
+    while cur.parent_id is not None and cur.parent_id not in seen:
+        seen.add(cur.parent_id)
+        parent = by_id.get(cur.parent_id)
+        if parent is None:
+            return
+        yield parent
+        cur = parent
+
+
+def render_journeys(journeys_list: List[Journey], top: int = 10) -> str:
+    """Plain-text table of the biggest journeys."""
+    from repro.bench.report import render_table
+
+    biggest = sorted(
+        journeys_list, key=lambda j: (-j.duration_ns, j.req_id)
+    )[:top]
+    rows = []
+    for j in biggest:
+        subsys = " ".join(
+            f"{bucket}={ns / 1e3:.1f}us"
+            for bucket, ns in sorted(
+                j.by_subsystem.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:3]
+        )
+        rows.append(
+            (j.req_id, j.op, j.start_ns, f"{j.duration_ns / 1e3:.1f}",
+             j.span_count, subsys)
+        )
+    return render_table(
+        ["req_id", "op", "start ns", "duration us", "spans",
+         "top subsystems (exclusive)"],
+        rows,
+        title=(
+            f"top {len(biggest)} of {len(journeys_list)} request "
+            "journeys (by duration):"
+        ),
+    )
+
+
 # -- rendering -----------------------------------------------------------------
 
 

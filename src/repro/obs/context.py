@@ -25,18 +25,34 @@ from typing import Iterator, Optional
 
 from repro.obs.engine_hooks import EngineObserver
 from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.timeseries import (
+    DEFAULT_MAX_WINDOWS,
+    DEFAULT_WINDOW_NS,
+    TimeSeriesHook,
+    TimeSeriesRecorder,
+)
 from repro.obs.tracer import NULL_SPAN, Tracer
 
 
 class ObsContext:
-    """One tracer + one metrics registry + one optional engine observer."""
+    """One tracer + one metrics registry + one optional engine observer.
+
+    When windowed aggregation is on (``observing(timeseries=True)``),
+    :attr:`timeseries` holds the live
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder` and
+    :attr:`engine_obs` is the :class:`~repro.obs.timeseries.
+    TimeSeriesHook` that advances it (wrapping the plain
+    :class:`EngineObserver` when engine stats are also requested).
+    """
 
     def __init__(self, tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 engine_obs: Optional[EngineObserver] = None):
+                 engine_obs: Optional[EngineObserver] = None,
+                 timeseries: Optional[TimeSeriesRecorder] = None):
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
         self.engine_obs = engine_obs
+        self.timeseries = timeseries
 
     @property
     def enabled(self) -> bool:
@@ -99,16 +115,40 @@ def reset() -> None:
 @contextlib.contextmanager
 def observing(trace: bool = True, metrics: bool = True,
               engine: bool = False, profile: bool = False,
-              max_trace_events: Optional[int] = None) -> Iterator[ObsContext]:
+              max_trace_events: Optional[int] = None,
+              timeseries: bool = False,
+              window_ns: int = DEFAULT_WINDOW_NS,
+              max_windows: Optional[int] = DEFAULT_MAX_WINDOWS) -> Iterator[ObsContext]:
     """Scoped enablement: install an enabled context, restore on exit.
 
     The context object stays usable after exit (for export); only the
     global registration is undone.
+
+    ``timeseries=True`` additionally aggregates the metrics registry
+    into tumbling ``window_ns`` windows on the virtual clock (see
+    :mod:`repro.obs.timeseries`); it requires ``metrics=True`` and
+    installs a window-advancing engine hook, so engines built inside
+    the scope pick it up automatically. Call
+    ``ctx.timeseries.finish(end_ns)`` after the run to flush the final
+    partial window.
     """
+    if timeseries and not metrics:
+        raise ValueError("observing(timeseries=True) requires metrics=True")
+    registry = MetricsRegistry(enabled=metrics)
+    recorder = (
+        TimeSeriesRecorder(registry, window_ns=window_ns,
+                           max_windows=max_windows)
+        if timeseries else None
+    )
+    inner = EngineObserver(profile=profile) if (engine or profile) else None
+    engine_obs = (
+        TimeSeriesHook(recorder, inner=inner) if recorder is not None else inner
+    )
     ctx = ObsContext(
         tracer=Tracer(enabled=trace, max_events=max_trace_events),
-        metrics=MetricsRegistry(enabled=metrics),
-        engine_obs=EngineObserver(profile=profile) if (engine or profile) else None,
+        metrics=registry,
+        engine_obs=engine_obs,
+        timeseries=recorder,
     )
     previous = install(ctx)
     try:

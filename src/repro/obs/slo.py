@@ -1,0 +1,334 @@
+"""Declarative SLOs evaluated against the virtual-time time-series.
+
+An :class:`SloSpec` is parsed from a compact one-line grammar::
+
+    <metric>.<agg> <op> <threshold>[unit] [over <duration>[ windows]]
+
+    xemem.attach.ns.p99 < 25us over 1ms
+    xemem.req.timeouts.count < 1 over 2ms
+    pisces.channel.msgs.rate > 1000
+
+* ``metric`` is a registry dot-path (``xemem.attach.ns``); the last
+  component of the spec is the aggregator.
+* ``agg`` — over histograms: ``p50``/``p95``/``p99`` (delta-bucket
+  interpolated), ``mean``, ``count``; over counters: ``count`` (window
+  delta) and ``rate`` (delta per simulated second); over gauges:
+  ``value`` (level at window close).
+* ``threshold`` takes ``ns``/``us``/``ms``/``s`` suffixes (normalized to
+  ns) or is a bare number.
+* ``over`` widens evaluation from single tumbling windows to **burn
+  windows**: consecutive base windows grouped to cover the duration,
+  with histogram delta-buckets merged before the quantile is taken (so a
+  p99 over 1 ms really is the p99 of every sample in that millisecond,
+  not an average of window p99s).
+
+Evaluation (:func:`evaluate`) is pure post-processing over the recorded
+:class:`~repro.obs.timeseries.WindowSnapshot` stream — deterministic,
+no simulation state touched. Objectives with no samples in a window are
+skipped for quantile/mean aggregators (no data is not a violation) while
+``count``/``rate`` treat absence as zero. Each failed window produces an
+:class:`SloViolation` carrying the same context shape as
+:class:`repro.obs.audit.AuditViolation` — what was in flight — plus the
+ids of the journeys (:func:`repro.obs.analysis.journeys`) overlapping
+the violated window, biggest first, so a verdict points straight at the
+requests that blew the objective.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.timeseries import HistWindow, WindowSnapshot, bucket_quantile
+
+#: Threshold unit suffixes, normalized to nanoseconds.
+_UNITS = {"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
+
+#: Aggregators applicable per metric kind.
+_HIST_AGGS = ("p50", "p95", "p99", "mean", "count")
+_COUNTER_AGGS = ("count", "rate")
+_GAUGE_AGGS = ("value",)
+
+_SPEC_RE = re.compile(
+    r"^\s*([A-Za-z0-9_.]+)\.(p50|p95|p99|mean|count|rate|value)"
+    r"\s*(<=|>=|<|>)\s*"
+    r"([0-9]+(?:\.[0-9]+)?)\s*(ns|us|ms|s)?"
+    r"(?:\s+over\s+([0-9]+(?:\.[0-9]+)?)\s*(ns|us|ms|s)(?:\s+windows?)?)?"
+    r"\s*$"
+)
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One parsed objective."""
+
+    raw: str
+    metric: str
+    agg: str
+    op: str
+    threshold: float
+    over_ns: Optional[int] = None  #: burn-window duration (None = per window)
+
+    @classmethod
+    def parse(cls, text: str) -> "SloSpec":
+        m = _SPEC_RE.match(text)
+        if m is None:
+            raise ValueError(
+                f"cannot parse SLO {text!r}; expected "
+                "'<metric>.<agg> <op> <threshold>[ns|us|ms|s] "
+                "[over <duration>]', e.g. 'xemem.attach.ns.p99 < 25us over 1ms'"
+            )
+        metric, agg, op, value, unit, over, over_unit = m.groups()
+        threshold = float(value) * (_UNITS[unit] if unit else 1)
+        over_ns = int(float(over) * _UNITS[over_unit]) if over else None
+        if over_ns is not None and over_ns <= 0:
+            raise ValueError(f"SLO {text!r}: 'over' duration must be positive")
+        return cls(raw=text.strip(), metric=metric, agg=agg, op=op,
+                   threshold=threshold, over_ns=over_ns)
+
+    def describe(self) -> str:
+        return self.raw
+
+
+class SloViolation(AssertionError):
+    """One objective failed in one (burn) window.
+
+    Mirrors :class:`repro.obs.audit.AuditViolation`: a machine-readable
+    record (objective, window, observed vs threshold) plus the span and
+    journey context needed to chase the offenders.
+    """
+
+    def __init__(self, slo: str, detail: str, time_ns: int = 0,
+                 window: Tuple[int, int] = (0, 0), observed: float = 0.0,
+                 threshold: float = 0.0, journey_ids: tuple = (),
+                 open_spans: tuple = (), recent_spans: tuple = ()):
+        self.slo = slo
+        self.detail = detail
+        self.time_ns = time_ns
+        self.window = tuple(window)
+        self.observed = observed
+        self.threshold = threshold
+        #: req-ids of the journeys overlapping the window, biggest first.
+        self.journey_ids = tuple(journey_ids)
+        #: Names of spans still open at the window's end.
+        self.open_spans = tuple(open_spans)
+        #: (name, start_ns) of spans completed just before the window end.
+        self.recent_spans = tuple(recent_spans)
+        ctx = ""
+        if self.journey_ids:
+            ctx += f" | journeys: {', '.join(self.journey_ids)}"
+        if self.open_spans:
+            ctx += f" | in flight: {', '.join(self.open_spans)}"
+        if self.recent_spans:
+            ctx += " | recent: " + ", ".join(
+                f"{name}@{start}" for name, start in self.recent_spans
+            )
+        super().__init__(f"[{slo}] t={time_ns}ns: {detail}{ctx}")
+
+    def to_doc(self) -> dict:
+        """Plain-dict rendering for JSON export."""
+        return {
+            "slo": self.slo,
+            "detail": self.detail,
+            "time_ns": self.time_ns,
+            "window": list(self.window),
+            "observed": self.observed,
+            "threshold": self.threshold,
+            "journey_ids": list(self.journey_ids),
+            "open_spans": list(self.open_spans),
+        }
+
+
+@dataclass
+class SloReport:
+    """Every objective's verdict over a run."""
+
+    specs: List[SloSpec]
+    violations: List[SloViolation] = field(default_factory=list)
+    #: spec raw -> number of (burn) windows that had data and were judged.
+    windows_evaluated: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def lines(self) -> List[str]:
+        out = []
+        for spec in self.specs:
+            bad = [v for v in self.violations if v.slo == spec.raw]
+            judged = self.windows_evaluated.get(spec.raw, 0)
+            verdict = "OK" if not bad else f"VIOLATED x{len(bad)}"
+            out.append(f"  [{verdict:>12}] {spec.raw}  "
+                       f"({judged} window(s) evaluated)")
+            for v in bad[:3]:
+                out.append(f"      window [{v.window[0]},{v.window[1]})ns: "
+                           f"observed {v.observed:.1f} vs {v.threshold:.1f}"
+                           + (f"; journeys {', '.join(v.journey_ids[:3])}"
+                              if v.journey_ids else ""))
+            if len(bad) > 3:
+                out.append(f"      ... and {len(bad) - 3} more window(s)")
+        return out
+
+    def to_doc(self) -> dict:
+        return {
+            "specs": [s.raw for s in self.specs],
+            "ok": self.ok,
+            "windows_evaluated": dict(sorted(self.windows_evaluated.items())),
+            "violations": [v.to_doc() for v in self.violations],
+        }
+
+
+# -- evaluation ----------------------------------------------------------------
+
+
+def _merge_hist(parts: List[HistWindow]) -> Optional[HistWindow]:
+    """Merge per-window delta buckets so burn-window quantiles are exact."""
+    parts = [p for p in parts if p.count]
+    if not parts:
+        return None
+    bounds = parts[0].bounds
+    deltas = [0] * len(parts[0].bucket_deltas)
+    count = 0
+    total = 0.0
+    for p in parts:
+        count += p.count
+        total += p.total
+        for i, d in enumerate(p.bucket_deltas):
+            deltas[i] += d
+    return HistWindow(count=count, total=total, bounds=bounds,
+                      bucket_deltas=tuple(deltas))
+
+
+def _observe(spec: SloSpec, group: List[WindowSnapshot]) -> Optional[float]:
+    """The spec's observed value over a group of base windows.
+
+    Returns None when the aggregator has no data to judge (quantiles and
+    means of empty windows); ``count``/``rate``/``value`` always judge.
+    """
+    if spec.agg in ("count", "rate"):
+        # counter first; a histogram's sample count also answers "count"
+        delta = sum(w.counters.get(spec.metric, 0) for w in group)
+        if delta == 0:
+            delta = sum(
+                w.histograms[spec.metric].count
+                for w in group if spec.metric in w.histograms
+            )
+        if spec.agg == "count":
+            return float(delta)
+        span_ns = group[-1].end_ns - group[0].start_ns
+        return delta * 1e9 / span_ns if span_ns else 0.0
+    if spec.agg == "value":
+        for w in reversed(group):
+            if spec.metric in w.gauges:
+                return float(w.gauges[spec.metric])
+        return None
+    merged = _merge_hist(
+        [w.histograms[spec.metric] for w in group
+         if spec.metric in w.histograms]
+    )
+    if merged is None:
+        return None
+    if spec.agg == "mean":
+        return merged.mean
+    q = {"p50": 0.50, "p95": 0.95, "p99": 0.99}[spec.agg]
+    return bucket_quantile(merged.bounds, merged.bucket_deltas, q)
+
+
+def _group(windows: List[WindowSnapshot], window_ns: int,
+           over_ns: Optional[int]) -> List[List[WindowSnapshot]]:
+    """Base windows, or consecutive runs covering the burn duration."""
+    if over_ns is None or over_ns <= window_ns:
+        return [[w] for w in windows]
+    k = -(-over_ns // window_ns)  # ceil: windows per burn group
+    return [windows[i:i + k] for i in range(0, len(windows), k)]
+
+
+def _window_journeys(journeys, start_ns: int, end_ns: int,
+                     metric: str, limit: int = 5) -> Tuple[str, ...]:
+    """Req-ids of journeys overlapping the window, biggest first.
+
+    Journeys whose operation matches the metric's dot-path prefix (e.g.
+    ``xemem.attach`` for ``xemem.attach.ns``) are preferred; when none
+    match, any overlapping journey is named.
+    """
+    hits = [j for j in journeys
+            if j.start_ns < end_ns and j.end_ns > start_ns]
+    matching = [j for j in hits if metric.startswith(j.op)]
+    pool = matching if matching else hits
+    pool = sorted(pool, key=lambda j: (-j.duration_ns, j.req_id))
+    return tuple(j.req_id for j in pool[:limit])
+
+
+def _span_context(trace, end_ns: int) -> Tuple[tuple, tuple]:
+    """(open spans, recently completed spans) at a virtual instant."""
+    if trace is None:
+        return (), ()
+    open_spans = tuple(
+        s.name for s in sorted(
+            (s for s in trace.spans
+             if s.start_ns < end_ns and s.end_ns > end_ns),
+            key=lambda s: (s.start_ns, s.span_id or 0),
+        )
+    )[:8]
+    done = sorted(
+        (s for s in trace.spans if s.end_ns <= end_ns),
+        key=lambda s: (s.end_ns, s.span_id or 0),
+    )
+    recent = tuple((s.name, s.start_ns) for s in done[-4:])
+    return open_spans, recent
+
+
+def evaluate(specs: Sequence[SloSpec], recorder, journeys=None,
+             trace=None) -> SloReport:
+    """Judge every spec against a recorder's window stream.
+
+    ``recorder`` is a :class:`~repro.obs.timeseries.TimeSeriesRecorder`
+    (or anything with ``windows`` and ``window_ns``); ``journeys`` and
+    ``trace`` (a :class:`~repro.obs.analysis.TraceData`) enrich
+    violations with offender context when provided.
+    """
+    report = SloReport(specs=list(specs))
+    windows = recorder.windows
+    journeys = journeys or []
+    for spec in report.specs:
+        judged = 0
+        for group in _group(windows, recorder.window_ns, spec.over_ns):
+            if not group:
+                continue
+            observed = _observe(spec, group)
+            if observed is None:
+                continue
+            judged += 1
+            if _OPS[spec.op](observed, spec.threshold):
+                continue
+            start_ns = group[0].start_ns
+            end_ns = group[-1].end_ns
+            open_spans, recent = _span_context(trace, end_ns)
+            report.violations.append(
+                SloViolation(
+                    slo=spec.raw,
+                    detail=(
+                        f"{spec.metric}.{spec.agg} = {observed:.1f}, "
+                        f"objective {spec.op} {spec.threshold:.1f}"
+                    ),
+                    time_ns=end_ns,
+                    window=(start_ns, end_ns),
+                    observed=observed,
+                    threshold=spec.threshold,
+                    journey_ids=_window_journeys(
+                        journeys, start_ns, end_ns, spec.metric
+                    ),
+                    open_spans=open_spans,
+                    recent_spans=recent,
+                )
+            )
+        report.windows_evaluated[spec.raw] = judged
+    return report

@@ -105,27 +105,41 @@ NULL_SPAN = _NullSpan()
 class _OpenSpan:
     """Context manager driving one live span."""
 
-    __slots__ = ("tracer", "engine", "span")
+    __slots__ = ("tracer", "engine", "span", "key")
 
-    def __init__(self, tracer: "Tracer", engine, span: Span):
+    def __init__(self, tracer: "Tracer", engine, span: Span, key):
         self.tracer = tracer
         self.engine = engine
         self.span = span
+        self.key = key
 
     def set(self, **attrs) -> None:
         """Attach/overwrite attributes on the live span."""
         self.span.attrs.update(attrs)
 
     def __enter__(self):
-        self.tracer._stack.append(self.span.span_id)
+        self.tracer._stacks.setdefault(self.key, []).append(self.span.span_id)
         self.tracer._open[self.span.span_id] = self.span
         return self
 
     def __exit__(self, *exc):
         self.span.end_ns = self.engine.now
-        stack = self.tracer._stack
-        if stack and stack[-1] == self.span.span_id:
-            stack.pop()
+        stacks = self.tracer._stacks
+        stack = stacks.get(self.key)
+        if stack:
+            if stack[-1] == self.span.span_id:
+                stack.pop()
+            else:
+                # Out-of-order close within one process (an interrupt
+                # unwound an inner with-block without closing it first):
+                # remove the id from wherever it sits so a closed span
+                # never lingers as the parent of later spans.
+                try:
+                    stack.remove(self.span.span_id)
+                except ValueError:
+                    pass
+            if not stack:
+                del stacks[self.key]
         self.tracer._open.pop(self.span.span_id, None)
         self.tracer._record(self.span)
         return False
@@ -138,9 +152,12 @@ class Tracer:
         self.enabled = enabled
         self._buf = RingBuffer(max_events)
         self._seq = 0
-        #: Open-span id stack for parent attribution of lexically nested
-        #: spans (spans opened and closed within one process step chain).
-        self._stack: List[int] = []
+        #: Open-span id stacks for parent attribution, keyed by the
+        #: simulated process the span was opened in (``None`` for spans
+        #: opened outside any process). Keying per process keeps parent
+        #: links correct when concurrent processes interleave — a span
+        #: never adopts another process's open span as its parent.
+        self._stacks: Dict[Any, List[int]] = {}
         #: Spans entered but not yet exited, by id — the auditor attaches
         #: these as "what was in flight" context on a violation.
         self._open: Dict[int, Span] = {}
@@ -157,21 +174,26 @@ class Tracer:
         if not self.enabled:
             return NULL_SPAN
         self._seq += 1
+        key = getattr(engine, "current_process", None)
+        stack = self._stacks.get(key)
         span = Span(
             span_id=self._seq,
             name=name,
             track=track,
             start_ns=engine.now,
-            parent_id=self._stack[-1] if self._stack else None,
+            parent_id=stack[-1] if stack else None,
             attrs=attrs,
         )
-        return _OpenSpan(self, engine, span)
+        return _OpenSpan(self, engine, span, key)
 
     def instant(self, name: str, time_ns: int, track: str = "main", **attrs) -> None:
         """Record a zero-duration event at an explicit virtual time."""
         if not self.enabled:
             return
         self._seq += 1
+        # Instants carry no engine handle, so only the process-less
+        # stack can supply a parent; in-process instants record as roots.
+        stack = self._stacks.get(None)
         self._record(
             Span(
                 span_id=self._seq,
@@ -179,7 +201,7 @@ class Tracer:
                 track=track,
                 start_ns=int(time_ns),
                 end_ns=int(time_ns),
-                parent_id=self._stack[-1] if self._stack else None,
+                parent_id=stack[-1] if stack else None,
                 attrs=attrs,
             )
         )
@@ -222,7 +244,7 @@ class Tracer:
     def clear(self) -> None:
         """Forget every recorded span."""
         self._buf.clear()
-        self._stack.clear()
+        self._stacks.clear()
         self._open.clear()
 
     def __len__(self) -> int:

@@ -103,9 +103,13 @@ class PiscesChannel(Channel):
         marshal_ns = npfns * (costs.channel_per_pfn_ns + penalty)
         self.transfers_started += 1
         o = obs.get()
+        # Journey tag: requests carry req_id, responses reply_to — either
+        # way the transfer belongs to that request's journey.
+        rid = msg.payload.get("req_id") or msg.payload.get("reply_to")
         with o.span("pisces.transfer", engine, track=self.name,
                     kind=msg.kind, npfns=npfns, chunks=chunks,
-                    marshal_ns=marshal_ns):
+                    marshal_ns=marshal_ns,
+                    **({"req_id": rid} if rid else {})):
             # Per-PFN marshalling through the shared region (source side).
             yield engine.sleep(marshal_ns)
             # One IPI round per chunk; the handler occupies the target core.

@@ -226,6 +226,11 @@ class Engine:
         #: Optional fault injector (see repro.faults). None = no plan armed;
         #: every hook site is a single attribute load + None check.
         self.faults = None
+        #: The Process whose generator is currently being resumed (None
+        #: between resumptions). Maintained by Process._step; the tracer
+        #: keys its parent-attribution stacks on it so spans opened by
+        #: interleaving processes never adopt each other as parents.
+        self.current_process = None
 
     # -- scheduling ---------------------------------------------------------
 

@@ -62,6 +62,9 @@ class Process(Awaitable):
         if self.finished or epoch != self._epoch:
             return  # stale wakeup (e.g. awaitable fired after an interrupt)
         self._epoch += 1
+        engine = self.engine
+        prev = engine.current_process
+        engine.current_process = self
         try:
             if exc is not None:
                 target = self.gen.throw(exc)
@@ -73,6 +76,8 @@ class Process(Awaitable):
         except BaseException as err:  # noqa: BLE001  # repro: noqa[REP007] reason=exception becomes the process result and re-raises in every waiter via _finish
             self._finish(None, err)
             return
+        finally:
+            engine.current_process = prev
         if not isinstance(target, Awaitable):
             self._finish(
                 None,

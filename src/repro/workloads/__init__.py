@@ -17,8 +17,12 @@ from repro.workloads.insitu import (
     InSituWorkload,
     SharedFlags,
 )
+from repro.workloads.sessions import ServeReport, SessionConfig, run_sessions
 
 __all__ = [
+    "ServeReport",
+    "SessionConfig",
+    "run_sessions",
     "StreamBenchmark",
     "StreamResult",
     "HpccgProblem",

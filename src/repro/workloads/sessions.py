@@ -1,0 +1,185 @@
+"""Closed-loop serving sessions: the load generator behind ``serve-report``.
+
+The first slice of the ROADMAP-4 load generator: the standard co-kernel
+rig runs as a *service* — every co-kernel exports one named segment, and
+a fleet of Linux-side client sessions runs the closed loop
+
+    search → get → attach → touch → detach → release → think
+
+``ops`` times each. Closed-loop means a session issues its next round
+only after the previous one completed plus an exponentially distributed
+think time (seeded per session, so the interleaving is deterministic and
+byte-identical run-to-run while still exercising concurrency).
+
+Attach latency is measured client-side on the virtual clock into a
+local :class:`~repro.obs.metrics.Histogram`, so the
+:class:`ServeReport` carries interpolated p50/p95/p99 even when the
+global observability context is dark. Under ``obs.observing(...)`` the
+same run additionally yields the full telemetry pipeline (spans with
+journey tags, time-series windows, SLO verdicts) — that is what
+``python -m repro serve-report`` wires together.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hw.costs import PAGE_4K
+from repro.obs.metrics import Histogram
+from repro.xemem import XememError, XememTimeout, XpmemApi
+
+#: Histogram bounds for client-observed attach latency (ns): 2 µs .. 5 ms.
+ATTACH_BOUNDS = (
+    2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 5_000_000,
+)
+
+
+@dataclass
+class SessionConfig:
+    """Shape of one serving run (all virtual-time deterministic)."""
+
+    seed: int = 0
+    sessions: int = 6          #: concurrent client sessions
+    ops: int = 8               #: closed-loop rounds per session
+    cokernels: int = 2         #: exporting co-kernels (one segment each)
+    pages: int = 16            #: pages per exported segment
+    mean_think_ns: int = 20_000  #: mean think time between rounds
+
+
+@dataclass
+class ServeReport:
+    """What a serving run did; derived from sim state only, so one
+    config reproduces it byte-for-byte."""
+
+    config: SessionConfig
+    end_ns: int = 0
+    drained: bool = False
+    exported: int = 0
+    ops_ok: int = 0
+    ops_error: int = 0
+    attach_count: int = 0
+    attach_p50_ns: float = 0.0
+    attach_p95_ns: float = 0.0
+    attach_p99_ns: float = 0.0
+    attach_max_ns: float = 0.0
+    segment_names: List[str] = field(default_factory=list)
+
+    @property
+    def ops_total(self) -> int:
+        return self.ops_ok + self.ops_error
+
+    def lines(self) -> List[str]:
+        cfg = self.config
+        return [
+            f"serve seed={cfg.seed} sessions={cfg.sessions} ops={cfg.ops} "
+            f"cokernels={cfg.cokernels} pages={cfg.pages}",
+            f"  end: {self.end_ns} ns  drained={self.drained}",
+            f"  exports: {self.exported} "
+            f"({', '.join(self.segment_names)})",
+            f"  ops: {self.ops_total} total = {self.ops_ok} ok + "
+            f"{self.ops_error} error",
+            f"  attach latency ({self.attach_count} samples): "
+            f"p50={self.attach_p50_ns / 1e3:.1f}us "
+            f"p95={self.attach_p95_ns / 1e3:.1f}us "
+            f"p99={self.attach_p99_ns / 1e3:.1f}us "
+            f"max={self.attach_max_ns / 1e3:.1f}us",
+        ]
+
+
+def run_sessions(config: Optional[SessionConfig] = None,
+                 **overrides) -> ServeReport:
+    """Run the closed-loop serving scenario; returns a :class:`ServeReport`.
+
+    Accepts either a :class:`SessionConfig` or its fields as keyword
+    arguments. Builds the standard rig internally, so running inside an
+    ``obs.observing(...)`` scope attaches the full telemetry pipeline
+    (the engine is created inside the scope and picks up the hooks).
+    """
+    # Imported here: repro.bench.configs itself imports repro.workloads
+    # (for the in situ driver), so a module-level import would be circular.
+    from repro.bench.configs import build_cokernel_system
+
+    cfg = config if config is not None else SessionConfig(**overrides)
+    rig = build_cokernel_system(num_cokernels=cfg.cokernels, seed=cfg.seed)
+    report = ServeReport(config=cfg)
+
+    eng = rig.engine
+    linux_kernel = rig.linux.kernel
+    attach_ns = Histogram("serve.attach.ns", ATTACH_BOUNDS)
+    counts = {"ok": 0, "error": 0}
+
+    def session(api: XpmemApi, name: str, rng: random.Random):
+        """One closed-loop client session against one named segment."""
+        for _ in range(cfg.ops):
+            try:
+                segid = yield from api.xpmem_search(name)
+                if segid is None:
+                    counts["error"] += 1
+                    continue
+                apid = yield from api.xpmem_get(segid)
+                t0 = eng.now
+                att = yield from api.xpmem_attach(
+                    apid, 0, cfg.pages * PAGE_4K
+                )
+                attach_ns.observe(eng.now - t0)
+                yield from linux_kernel.touch_pages(
+                    api.proc, att.vaddr, cfg.pages
+                )
+                yield from api.xpmem_detach(att)
+                yield from api.xpmem_release(apid)
+                counts["ok"] += 1
+            except (XememTimeout, XememError):
+                counts["error"] += 1
+            think = int(rng.expovariate(1.0 / cfg.mean_think_ns))
+            if think:
+                yield eng.sleep(think)
+
+    def scenario():
+        # Export phase: every co-kernel publishes one named segment.
+        names = []
+        for enclave in rig.cokernels:
+            kernel = enclave.kernel
+            if cfg.pages > kernel.heap_pages:
+                kernel.heap_pages = cfg.pages
+            proc = kernel.create_process(f"svc-{enclave.name}")
+            heap = kernel.heap_region(proc)
+            api = XpmemApi(proc)
+            name = f"svc/{enclave.name}"
+            yield from api.xpmem_make(
+                heap.start, cfg.pages * PAGE_4K, name=name
+            )
+            names.append(name)
+            report.exported += 1
+        report.segment_names = names
+        # Serving phase: sessions fan out round-robin over the segments.
+        clients = []
+        for i in range(cfg.sessions):
+            proc = linux_kernel.create_process(
+                f"session-{i}", core_id=1 + i % 4
+            )
+            rng = random.Random((cfg.seed << 16) ^ i)
+            clients.append(
+                eng.spawn(
+                    session(XpmemApi(proc), names[i % len(names)], rng),
+                    name=f"session:{i}",
+                )
+            )
+        if clients:
+            yield eng.all_of(clients)
+
+    eng.run_process(scenario(), name="serve")
+    eng.run()  # drain stragglers (retransmit timers, heartbeat daemons)
+
+    report.end_ns = eng.now
+    report.drained = eng.queue_len == 0
+    report.ops_ok = counts["ok"]
+    report.ops_error = counts["error"]
+    report.attach_count = attach_ns.count
+    report.attach_p50_ns = attach_ns.quantile(0.50)
+    report.attach_p95_ns = attach_ns.quantile(0.95)
+    report.attach_p99_ns = attach_ns.quantile(0.99)
+    report.attach_max_ns = attach_ns.stats.max if attach_ns.count else 0.0
+    return report

@@ -29,6 +29,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro import obs
+from repro.obs.tracer import NULL_SPAN
 from repro.enclave.enclave import Channel, ChannelClosedError, Enclave, KernelMessage
 from repro.kernels.pagetable import PAGE_SIZE
 from repro.xemem import commands as C
@@ -547,7 +548,6 @@ class XememModule:
 
     def _handle_at_name_server(self, msg: KernelMessage):
         """NS-addressed commands: resolve or answer (§4.2)."""
-        ns = self.nameserver
         kind = msg.kind
         if self._ns_down_until > self.engine.now:
             # restart outage window: the service is down; requesters'
@@ -557,6 +557,17 @@ class XememModule:
         if kind == C.ENCLAVE_HEARTBEAT:
             self._note_heartbeat(msg)
             return
+        # Journey tag: the req_id ties this serving span to the client
+        # operation that sent the command (heartbeats excluded — they
+        # belong to no request).
+        with obs.get().span("xemem.ns.handle", self.engine,
+                            track=self.enclave.name, kind=kind,
+                            req_id=msg.payload.get("req_id")):
+            yield from self._dispatch_at_name_server(msg)
+
+    def _dispatch_at_name_server(self, msg: KernelMessage):
+        ns = self.nameserver
+        kind = msg.kind
         if kind in C.SEGID_ADDRESSED:
             self._sweep_leases()
             try:
@@ -692,7 +703,7 @@ class XememModule:
             return
         o = obs.get()
         with o.span("xemem.serve_attach", self.engine, track=self.enclave.name,
-                    npages=npages):
+                    npages=npages, req_id=msg.payload.get("req_id")):
             pfns = yield from self.kernel.walk_for_export(
                 seg.proc, seg.vaddr + offset_pages * PAGE_SIZE, npages
             )
@@ -712,15 +723,17 @@ class XememModule:
         npages = -(-nbytes // PAGE_SIZE)
         o = obs.get()
         with o.span("xemem.make", self.engine, track=self.enclave.name,
-                    npages=npages, segname=name):
+                    npages=npages, segname=name) as sp:
             yield self.engine.sleep(self.costs.export_fixed_ns)
             if self.is_name_server:
                 segid = self.nameserver.alloc_segid(self.my_id, npages, name)
             else:
+                req_id = self._next_req_id()
+                sp.set(req_id=req_id)
                 resp = yield from self._request(
                     C.make_command(
                         C.ALLOC_SEGID, self.my_id, None,
-                        req_id=self._next_req_id(), npages=npages, name=name,
+                        req_id=req_id, npages=npages, name=name,
                     )
                 )
                 segid = SegmentId(resp.payload["segid"])
@@ -750,17 +763,22 @@ class XememModule:
 
     def lookup(self, name: str):
         """Generator: discoverability — find a segid by registered name."""
-        if self.is_name_server:
-            yield self.engine.sleep(self.costs.detach_fixed_ns)
-            segid = self.nameserver.lookup_name(name)
-        else:
-            resp = yield from self._request(
-                C.make_command(
-                    C.LOOKUP_NAME, self.my_id, None,
-                    req_id=self._next_req_id(), name=name,
+        o = obs.get()
+        with o.span("xemem.lookup", self.engine, track=self.enclave.name,
+                    segname=name) as sp:
+            if self.is_name_server:
+                yield self.engine.sleep(self.costs.detach_fixed_ns)
+                segid = self.nameserver.lookup_name(name)
+            else:
+                req_id = self._next_req_id()
+                sp.set(req_id=req_id)
+                resp = yield from self._request(
+                    C.make_command(
+                        C.LOOKUP_NAME, self.my_id, None,
+                        req_id=req_id, name=name,
+                    )
                 )
-            )
-            segid = resp.payload["segid"]
+                segid = resp.payload["segid"]
         return None if segid is None else SegmentId(segid)
 
     def list_names(self, prefix: str = ""):
@@ -778,22 +796,27 @@ class XememModule:
 
     def get(self, proc, segid: SegmentId, write: bool = True):
         """Generator: ``xpmem_get`` — request access, returns an ApId."""
-        obs.get().counter("xemem.get.count").inc()
+        o = obs.get()
+        o.counter("xemem.get.count").inc()
         local = self.segments.get(int(segid))
-        if local is not None:
-            if not local.permit.allows(write, is_owner=local.proc is proc):
-                raise PermissionError_(f"permission denied for {segid!r}")
-            local.grants_out += 1
-            npages = local.npages
-            yield self.engine.sleep(self.costs.detach_fixed_ns)
-        else:
-            resp = yield from self._request(
-                C.make_command(
-                    C.GET_REQ, self.my_id, None,
-                    req_id=self._next_req_id(), segid=int(segid), write=write,
+        with o.span("xemem.get", self.engine, track=self.enclave.name,
+                    local=local is not None) as sp:
+            if local is not None:
+                if not local.permit.allows(write, is_owner=local.proc is proc):
+                    raise PermissionError_(f"permission denied for {segid!r}")
+                local.grants_out += 1
+                npages = local.npages
+                yield self.engine.sleep(self.costs.detach_fixed_ns)
+            else:
+                req_id = self._next_req_id()
+                sp.set(req_id=req_id)
+                resp = yield from self._request(
+                    C.make_command(
+                        C.GET_REQ, self.my_id, None,
+                        req_id=req_id, segid=int(segid), write=write,
+                    )
                 )
-            )
-            npages = resp.payload["npages"]
+                npages = resp.payload["npages"]
         apid = ApId((self.my_id << 20) | next(self._apid_counter))
         self.grants[int(apid)] = ApGrant(
             apid, segid, proc, npages, write, owner_is_local=local is not None
@@ -848,12 +871,14 @@ class XememModule:
         o = obs.get()
         t0 = self.engine.now
         with o.span("xemem.attach", self.engine, track=self.enclave.name,
-                    npages=npages, local=grant.owner_is_local):
+                    npages=npages, local=grant.owner_is_local) as sp:
             yield self.engine.sleep(self.costs.attach_fixed_ns)
             if grant.owner_is_local:
                 attached = yield from self._attach_local(proc, grant, offset_pages, npages)
             else:
-                attached = yield from self._attach_remote(proc, grant, offset_pages, npages)
+                attached = yield from self._attach_remote(
+                    proc, grant, offset_pages, npages, span=sp
+                )
         if self.grants.get(int(grant.apid)) is not grant:
             # The grant was invalidated (its owner enclave crashed) while
             # we were mapping: tear the half-made attachment back down
@@ -917,11 +942,17 @@ class XememModule:
             kind="linux-lazy", region=region, local_pfns=pfns, view=view,
         )
 
-    def _attach_remote(self, proc, grant: ApGrant, offset_pages: int, npages: int):
+    def _attach_remote(self, proc, grant: ApGrant, offset_pages: int,
+                       npages: int, span=NULL_SPAN):
+        # The req_id is allocated here (not in attach()) so the id
+        # sequence is stable; the open attach span gets it as a journey
+        # tag via the passed-in handle.
+        req_id = self._next_req_id()
+        span.set(req_id=req_id)
         resp = yield from self._request(
             C.make_command(
                 C.ATTACH_REQ, self.my_id, None,
-                req_id=self._next_req_id(), segid=int(grant.segid),
+                req_id=req_id, segid=int(grant.segid),
                 offset_pages=offset_pages, npages=npages,
             )
         )

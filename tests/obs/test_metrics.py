@@ -75,6 +75,32 @@ def test_histogram_quantile_empty_and_bad_q():
     assert h.quantile(0.5) == 0.0
     with pytest.raises(ValueError):
         h.quantile(1.5)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+
+
+def test_histogram_quantile_single_sample_collapses_to_it():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat.ns", bounds=(10, 100))
+    h.observe(42)
+    # with one sample the observed min == max == 42, so every quantile
+    # clamps to it regardless of where interpolation lands
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == pytest.approx(42.0)
+
+
+def test_histogram_quantile_duplicate_heavy_stays_in_observed_range():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat.ns", bounds=(10, 100, 1000))
+    for _ in range(99):
+        h.observe(50)
+    h.observe(500)
+    # 99 duplicates in (10,100]: interpolation estimates inside that
+    # bucket, clamped to the exact observed [50, 500]
+    assert 50.0 <= h.quantile(0.50) <= 100.0
+    assert h.quantile(0.0) == pytest.approx(50.0)
+    assert h.quantile(1.0) == pytest.approx(500.0)
+    assert h.quantile(0.999) <= 500.0
 
 
 def test_snapshot_includes_percentiles_and_extremes():

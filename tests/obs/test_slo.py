@@ -1,0 +1,206 @@
+"""Tests for the declarative SLO engine (repro.obs.slo)."""
+
+import pytest
+
+from repro.obs.analysis import Journey, SpanNode, TraceData, _link
+from repro.obs.slo import SloSpec, evaluate
+from repro.obs.timeseries import HistWindow, WindowSnapshot
+
+BOUNDS = (10_000, 100_000)
+
+
+# -- spec parsing --------------------------------------------------------------
+
+def test_parse_full_grammar_with_units_and_over():
+    spec = SloSpec.parse("xemem.attach.ns.p99 < 25us over 1ms")
+    assert spec.metric == "xemem.attach.ns"
+    assert spec.agg == "p99"
+    assert spec.op == "<"
+    assert spec.threshold == 25_000.0
+    assert spec.over_ns == 1_000_000
+
+
+def test_parse_bare_threshold_and_no_over():
+    spec = SloSpec.parse("pisces.channel.msgs.rate > 1000")
+    assert spec.metric == "pisces.channel.msgs"
+    assert spec.agg == "rate"
+    assert spec.threshold == 1000.0
+    assert spec.over_ns is None
+
+
+@pytest.mark.parametrize("agg", ["p50", "p95", "p99", "mean", "count",
+                                 "rate", "value"])
+def test_parse_accepts_every_aggregator(agg):
+    assert SloSpec.parse(f"m.x.{agg} <= 5").agg == agg
+
+
+@pytest.mark.parametrize("text", [
+    "no-aggregator < 5",            # last component must be an agg
+    "m.p99 less-than 5",            # bad operator
+    "m.p99 < ",                     # missing threshold
+    "m.p99 < 5 over",               # dangling over
+    "m.p99 < 5 over ten ms",        # non-numeric duration
+    "m.p99 < 5parsecs",             # unknown unit
+])
+def test_parse_rejects_malformed_specs(text):
+    with pytest.raises(ValueError):
+        SloSpec.parse(text)
+
+
+def test_parse_normalizes_every_unit_to_ns():
+    assert SloSpec.parse("m.p99 < 3ns").threshold == 3.0
+    assert SloSpec.parse("m.p99 < 3us").threshold == 3_000.0
+    assert SloSpec.parse("m.p99 < 3ms").threshold == 3_000_000.0
+    assert SloSpec.parse("m.p99 < 3s").threshold == 3_000_000_000.0
+
+
+# -- window fixtures -----------------------------------------------------------
+
+class FakeRecorder:
+    def __init__(self, windows, window_ns=100):
+        self.windows = windows
+        self.window_ns = window_ns
+
+
+def hist_window(count, deltas, total):
+    return HistWindow(count=count, total=total, bounds=BOUNDS,
+                      bucket_deltas=tuple(deltas))
+
+
+def window(i, counters=None, hists=None, gauges=None, window_ns=100):
+    return WindowSnapshot(
+        index=i, start_ns=i * window_ns, end_ns=(i + 1) * window_ns,
+        counters=counters or {}, gauges=gauges or {},
+        histograms=hists or {},
+    )
+
+
+# -- evaluation ----------------------------------------------------------------
+
+def test_per_window_quantile_flags_only_the_bad_window():
+    # window 0: all fast (first bucket); window 1: all slow (overflow)
+    windows = [
+        window(0, hists={"lat.ns": hist_window(10, (10, 0, 0), 50_000)}),
+        window(1, hists={"lat.ns": hist_window(10, (0, 0, 10), 2_000_000)}),
+    ]
+    report = evaluate([SloSpec.parse("lat.ns.p99 < 50us")],
+                      FakeRecorder(windows))
+    assert report.windows_evaluated["lat.ns.p99 < 50us"] == 2
+    (v,) = report.violations
+    assert v.window == (100, 200)
+    assert v.observed == pytest.approx(100_000.0)  # overflow clamps to bound
+    assert not report.ok
+
+
+def test_quantile_skips_empty_windows_but_count_judges_them():
+    windows = [window(0), window(1)]  # nothing happened at all
+    quiet = evaluate([SloSpec.parse("lat.ns.p99 < 50us")],
+                     FakeRecorder(windows))
+    assert quiet.windows_evaluated["lat.ns.p99 < 50us"] == 0
+    assert quiet.ok  # no data is not a violation for quantiles
+    # ...but an absence-based objective treats no-data as zero and judges
+    floor = evaluate([SloSpec.parse("ops.count >= 1")], FakeRecorder(windows))
+    assert floor.windows_evaluated["ops.count >= 1"] == 2
+    assert len(floor.violations) == 2
+
+
+def test_counter_count_and_rate_aggregators():
+    windows = [
+        window(0, counters={"ops": 5}),
+        window(1, counters={"ops": 15}),
+    ]
+    rec = FakeRecorder(windows)
+    count = evaluate([SloSpec.parse("ops.count <= 10")], rec)
+    (v,) = count.violations
+    assert v.observed == 15.0 and v.window == (100, 200)
+    # rate is delta per simulated second: 5/100ns = 5e7/s, 15/100ns = 1.5e8/s
+    rate = evaluate([SloSpec.parse("ops.rate < 100000000")], rec)
+    assert [x.observed for x in rate.violations] == [pytest.approx(1.5e8)]
+
+
+def test_gauge_value_uses_level_at_window_close():
+    windows = [window(0, gauges={"depth": 3.0}),
+               window(1, gauges={"depth": 9.0})]
+    report = evaluate([SloSpec.parse("depth.value < 5")],
+                      FakeRecorder(windows))
+    (v,) = report.violations
+    assert v.observed == 9.0 and v.window == (100, 200)
+
+
+def test_burn_window_merges_delta_buckets_before_the_quantile():
+    # 50 fast samples in window 0, 50 slow in window 1: the burn-window
+    # p99 must be the p99 of all 100 samples (100us, set by the slow
+    # half), not an average of the two per-window p99s (~55us).
+    w0 = window(0, hists={"lat.ns": hist_window(50, (50, 0, 0), 250_000)})
+    w1 = window(1, hists={"lat.ns": hist_window(50, (0, 0, 50), 10_000_000)})
+    rec = FakeRecorder([w0, w1], window_ns=100)
+    report = evaluate([SloSpec.parse("lat.ns.p99 < 60us over 200ns")], rec)
+    assert report.windows_evaluated["lat.ns.p99 < 60us over 200ns"] == 1
+    (v,) = report.violations
+    assert v.observed == pytest.approx(100_000.0)
+    assert v.window == (0, 200)
+
+
+def test_burn_window_group_width_is_ceiling_of_duration():
+    windows = [window(i, counters={"ops": 1}) for i in range(5)]
+    rec = FakeRecorder(windows, window_ns=100)
+    report = evaluate([SloSpec.parse("ops.count >= 3 over 250ns")], rec)
+    # ceil(250/100) = 3 windows per burn group -> groups of 3 and 2
+    assert report.windows_evaluated["ops.count >= 3 over 250ns"] == 2
+    (v,) = report.violations  # the trailing 2-window group has only 2 ops
+    assert v.window == (300, 500)
+    assert v.observed == pytest.approx(2.0)
+
+
+def test_violation_carries_matching_journeys_biggest_first():
+    windows = [
+        window(0, hists={"xemem.attach.ns": hist_window(
+            5, (0, 0, 5), 1_000_000)}),
+    ]
+    mk = lambda rid, op, start, end: Journey(  # noqa: E731
+        req_id=rid, op=op, start_ns=start, end_ns=end, span_count=1,
+        by_subsystem={}, critical_path=[])
+    js = [
+        mk("linux:1", "xemem.attach", 0, 90),    # overlaps, matches metric
+        mk("linux:2", "xemem.attach", 10, 30),   # overlaps, smaller
+        mk("linux:3", "xemem.get", 0, 95),       # overlaps, wrong op
+        mk("linux:4", "xemem.attach", 500, 600),  # outside the window
+    ]
+    report = evaluate([SloSpec.parse("xemem.attach.ns.p99 < 50us")],
+                      FakeRecorder(windows), journeys=js)
+    (v,) = report.violations
+    # op-matching journeys preferred, ordered biggest first
+    assert v.journey_ids == ("linux:1", "linux:2")
+    assert "linux:1" in str(v)
+
+
+def test_violation_carries_open_span_context_from_the_trace():
+    spans = [
+        SpanNode(span_id=1, parent_id=None, name="xemem.attach", track="t",
+                 start_ns=0, end_ns=300, attrs={}),
+        SpanNode(span_id=2, parent_id=None, name="early.op", track="t",
+                 start_ns=0, end_ns=50, attrs={}),
+    ]
+    trace = TraceData(spans=spans, roots=_link(spans))
+    windows = [window(0, counters={"timeouts": 3})]
+    report = evaluate([SloSpec.parse("timeouts.count < 1")],
+                      FakeRecorder(windows), trace=trace)
+    (v,) = report.violations
+    assert v.open_spans == ("xemem.attach",)       # spans window end 100
+    assert ("early.op", 0) in v.recent_spans
+
+
+def test_report_lines_and_doc_round_trip():
+    windows = [window(0, counters={"timeouts": 3})]
+    specs = [SloSpec.parse("timeouts.count < 1"),
+             SloSpec.parse("lat.ns.p99 < 50us")]
+    report = evaluate(specs, FakeRecorder(windows))
+    text = "\n".join(report.lines())
+    assert "VIOLATED x1" in text and "timeouts.count < 1" in text
+    assert "OK" in text  # the quantile spec had no data -> 0 windows, OK
+    doc = report.to_doc()
+    assert doc["ok"] is False
+    assert doc["specs"] == [s.raw for s in specs]
+    (vdoc,) = doc["violations"]
+    assert vdoc["slo"] == "timeouts.count < 1"
+    assert vdoc["observed"] == 3.0 and vdoc["window"] == [0, 100]

@@ -186,3 +186,55 @@ def test_non_json_attrs_fall_back_to_repr():
     rec = json.loads(buf.getvalue())
     assert rec["attrs"]["n"] == 1
     assert rec["attrs"]["obj"].startswith("<object object")
+
+
+def test_interleaved_processes_do_not_cross_parent():
+    """Regression: parent attribution is per-process. Two concurrent
+    processes whose spans interleave in time must each see only their
+    own open spans as parents -- a single global stack used to make the
+    later span a child of whichever span happened to be open, and an
+    out-of-order close could leak ids onto the stack forever."""
+    eng = Engine()
+    tr = Tracer()
+
+    def worker(name, delay):
+        yield eng.sleep(delay)
+        with tr.span(f"{name}.op", eng):
+            yield eng.sleep(100)
+            with tr.span(f"{name}.inner", eng):
+                yield eng.sleep(100)
+
+    def scenario():
+        a = eng.spawn(worker("a", 0))
+        b = eng.spawn(worker("b", 50))  # opens while a.op is still open
+        yield eng.all_of([a, b])
+
+    eng.run_process(scenario())
+    by_name = {s.name: s for s in tr.spans}
+    assert by_name["a.op"].parent_id is None
+    assert by_name["b.op"].parent_id is None  # not adopted by a.op
+    assert by_name["a.inner"].parent_id == by_name["a.op"].span_id
+    assert by_name["b.inner"].parent_id == by_name["b.op"].span_id
+
+
+def test_out_of_order_close_does_not_leak_stack_entries():
+    eng = Engine()
+    tr = Tracer()
+
+    def proc():
+        # close the outer handle before the inner one: the tracer must
+        # still unwind both, leaving nothing behind to parent on
+        outer = tr.span("outer", eng)
+        inner = tr.span("inner", eng)
+        outer.__enter__()
+        inner.__enter__()
+        yield eng.sleep(10)
+        outer.__exit__(None, None, None)
+        inner.__exit__(None, None, None)
+        with tr.span("later", eng):
+            yield eng.sleep(10)
+
+    eng.run_process(proc())
+    later = tr.of_name("later")[0]
+    assert later.parent_id is None
+    assert tr._stacks == {}  # every stack fully unwound

@@ -105,7 +105,8 @@ def test_inspect_attribute_flag_adds_breakdown(tmp_path, capsys):
     assert "critical path:" in out
 
 
-def test_inspect_warns_loudly_about_dropped_spans(tmp_path, capsys):
+def _truncated_trace(tmp_path):
+    """A Chrome trace recorded with a tiny ring cap (spans dropped)."""
     from repro import obs
     from repro.bench import figures
 
@@ -115,11 +116,51 @@ def test_inspect_warns_loudly_about_dropped_spans(tmp_path, capsys):
     assert ctx.tracer.dropped > 0
     with open(trace, "w") as fp:
         ctx.tracer.to_chrome(fp)
-    for command in ("inspect", "report"):
-        assert main([command, str(trace)]) == 0
-        out = capsys.readouterr().out
-        assert f"WARNING: {ctx.tracer.dropped} spans were DROPPED" in out
-        assert "TRUNCATED" in out
+    return trace, ctx.tracer.dropped
+
+
+def test_inspect_warns_loudly_about_dropped_spans(tmp_path, capsys):
+    trace, dropped = _truncated_trace(tmp_path)
+    assert main(["inspect", str(trace)]) == 0  # inspect stays advisory
+    out = capsys.readouterr().out
+    assert f"WARNING: {dropped} spans were DROPPED" in out
+    assert "TRUNCATED" in out
+
+
+def test_report_exits_3_when_spans_were_dropped(tmp_path, capsys):
+    """Truncated attribution is a CI failure, not a footnote: report
+    still prints the warning but exits 3."""
+    trace, dropped = _truncated_trace(tmp_path)
+    assert main(["report", str(trace)]) == 3
+    out = capsys.readouterr().out
+    assert f"WARNING: {dropped} spans were DROPPED" in out
+    assert "TRUNCATED" in out
+
+
+def test_report_json_surfaces_drop_counts(tmp_path, capsys):
+    import json
+
+    trace, dropped = _truncated_trace(tmp_path)
+    assert main(["report", str(trace), "--json"]) == 3
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["dropped"] == dropped
+    assert doc["truncated"] is True
+    assert doc["coverage"] <= 1.0
+    assert doc["by_subsystem"]
+
+
+def test_report_json_clean_trace_exits_0(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "t.json"
+    assert main(["explain", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(trace), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["dropped"] == 0
+    assert doc["truncated"] is False
+    assert doc["spans"] > 0
+    assert {"name", "count", "total_ns"} <= set(doc["operations"][0])
 
 
 def test_report_command_attributes_a_fig5_trace(tmp_path, capsys):
@@ -172,3 +213,51 @@ def test_profile_flag(capsys):
     assert main(["explain", "--profile"]) == 0
     out = capsys.readouterr().out
     assert "hot path" in out
+
+
+# -- serve-report --------------------------------------------------------------
+
+SERVE_ARGS = ["serve-report", "--seed", "3", "--sessions", "3", "--ops", "2",
+              "--pages", "4", "--window-ns", "50000"]
+
+
+def test_serve_report_prints_summary_and_verdicts(capsys):
+    assert main(list(SERVE_ARGS)) == 0
+    out = capsys.readouterr().out
+    assert "serve seed=3" in out
+    assert "ops: 6 total" in out
+    assert "windows:" in out
+    assert "SLOs:" in out
+    assert "journeys" in out
+
+
+def test_serve_report_writes_all_exports_byte_identically(tmp_path, capsys):
+    out_a, out_b = tmp_path / "a", tmp_path / "b"
+    assert main(SERVE_ARGS + ["--out-dir", str(out_a)]) == 0
+    assert main(SERVE_ARGS + ["--out-dir", str(out_b)]) == 0
+    capsys.readouterr()
+    names = ["dashboard.html", "flamegraph.folded", "metrics.prom",
+             "timeseries.json", "slo.json", "journeys.json"]
+    for name in names:
+        a, b = (out_a / name).read_bytes(), (out_b / name).read_bytes()
+        assert a, f"{name} is empty"
+        assert a == b, f"{name} differs between identical runs"
+    # the engine/fastpath internals never leak into the exports
+    prom = (out_a / "metrics.prom").read_text()
+    assert "engine_" not in prom and "fastpath_" not in prom
+
+
+def test_serve_report_fail_on_violation_exit_code(capsys):
+    # an impossible objective must trip the violation exit code (4)
+    args = SERVE_ARGS + ["--slo", "xemem.attach.ns.p99 < 1ns",
+                         "--fail-on-violation"]
+    assert main(args) == 4
+    out = capsys.readouterr().out
+    assert "VIOLATED" in out
+    # without the flag the same violations only report, exit 0
+    assert main(SERVE_ARGS + ["--slo", "xemem.attach.ns.p99 < 1ns"]) == 0
+
+
+def test_serve_report_rejects_bad_slo_spec():
+    with pytest.raises(SystemExit):
+        main(["serve-report", "--slo", "not a spec"])
