@@ -39,8 +39,13 @@ bench:
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
+# Both speed gates (the 1 GiB fast-path win and the 16 GiB columnar
+# win) merge-write one results file, so run them together before the
+# comparison.
 bench-compare:
-	$(PYTHON) -m pytest benchmarks/test_simulator_speed.py::test_speed_fastpath_1gib_attach_speedup -q
+	$(PYTHON) -m pytest \
+		benchmarks/test_simulator_speed.py::test_speed_fastpath_1gib_attach_speedup \
+		benchmarks/test_simulator_speed.py::test_speed_columnar_16gib_pipeline_speedup -q
 	$(PYTHON) -m repro.obs.bench benchmarks/baselines/BENCH_speed.json benchmarks/results/BENCH_speed.json --tolerance 0.15
 	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q
 	$(PYTHON) -m repro.obs.bench benchmarks/baselines/BENCH_obs_overhead.json benchmarks/results/BENCH_obs_overhead.json --tolerance 0.15

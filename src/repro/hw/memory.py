@@ -57,25 +57,102 @@ class FrameRange:
         return self.start_pfn < other.end_pfn and other.start_pfn < self.end_pfn
 
 
+class FrameRangeList:
+    """Structure-of-arrays arena of contiguous frame runs.
+
+    Run ``i`` covers frames ``[starts[i], starts[i] + lengths[i])``. The
+    columns live in two flat ``int64`` arrays, so building, flattening,
+    and freeing a million-frame scattered allocation is a handful of
+    numpy operations instead of one :class:`FrameRange` object per run.
+    Behaves like a read-only sequence of :class:`FrameRange` — indexing
+    materializes a view object on demand — so existing per-range callers
+    keep working unchanged.
+    """
+
+    __slots__ = ("starts", "lengths")
+
+    def __init__(self, starts: np.ndarray, lengths: np.ndarray):
+        self.starts = np.asarray(starts, dtype=np.int64)
+        self.lengths = np.asarray(lengths, dtype=np.int64)
+        if len(self.starts) != len(self.lengths):
+            raise ValueError("starts and lengths disagree on length")
+        if len(self.lengths) and (self.lengths.min() <= 0 or self.starts.min() < 0):
+            raise ValueError("frame runs must be non-empty with non-negative starts")
+
+    @classmethod
+    def from_pfns(cls, pfns: np.ndarray) -> "FrameRangeList":
+        """Coalesce an ascending PFN array into maximal runs (vectorized)."""
+        pfns = np.asarray(pfns, dtype=np.int64)
+        if len(pfns) == 0:
+            return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        heads = np.concatenate(([0], np.flatnonzero(np.diff(pfns) != 1) + 1))
+        lengths = np.diff(np.concatenate((heads, [len(pfns)])))
+        return cls(pfns[heads], lengths)
+
+    @property
+    def nframes(self) -> int:
+        """Total frames across all runs."""
+        return int(self.lengths.sum())
+
+    def pfns(self) -> np.ndarray:
+        """Flatten into a PFN array, preserving run order (vectorized).
+
+        Run-length decode: an array of ones with a corrective jump at
+        each run head turns into the frame numbers under a cumulative sum.
+        """
+        total = self.nframes
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        out = np.ones(total, dtype=np.int64)
+        out[0] = self.starts[0]
+        if len(self.starts) > 1:
+            heads = np.cumsum(self.lengths[:-1])
+            out[heads] = self.starts[1:] - (self.starts[:-1] + self.lengths[:-1] - 1)
+        return np.cumsum(out)
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return FrameRangeList(self.starts[i], self.lengths[i])
+        return FrameRange(int(self.starts[i]), int(self.lengths[i]))
+
+    def __iter__(self):
+        for start, length in zip(self.starts.tolist(), self.lengths.tolist()):
+            yield FrameRange(start, length)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FrameRangeList):
+            return bool(
+                len(self) == len(other)
+                and (self.starts == other.starts).all()
+                and (self.lengths == other.lengths).all()
+            )
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"FrameRangeList({len(self)} runs, {self.nframes} frames)"
+
+
 def ranges_to_pfns(ranges: Sequence[FrameRange]) -> np.ndarray:
     """Flatten contiguous ranges into a PFN array, preserving order."""
-    if not ranges:
+    if isinstance(ranges, FrameRangeList):
+        return ranges.pfns()
+    if not len(ranges):
         return np.empty(0, dtype=np.int64)
     return np.concatenate([r.pfns() for r in ranges])
 
 
-def pfns_to_ranges(pfns: np.ndarray) -> List[FrameRange]:
-    """Coalesce a PFN array back into maximal contiguous runs."""
-    if len(pfns) == 0:
-        return []
-    pfns = np.asarray(pfns, dtype=np.int64)
-    breaks = np.flatnonzero(np.diff(pfns) != 1) + 1
-    out: List[FrameRange] = []
-    start = 0
-    for b in list(breaks) + [len(pfns)]:
-        out.append(FrameRange(int(pfns[start]), int(b - start)))
-        start = b
-    return out
+def pfns_to_ranges(pfns: np.ndarray) -> FrameRangeList:
+    """Coalesce a PFN array back into maximal contiguous runs.
+
+    Returns a :class:`FrameRangeList`; it compares equal to (and
+    iterates as) the list of :class:`FrameRange` it used to return.
+    """
+    return FrameRangeList.from_pfns(pfns)
 
 
 class FrameAllocator:
@@ -119,11 +196,14 @@ class FrameAllocator:
             f"({self.free_frames} free, fragmented into {len(self._free)} runs)"
         )
 
-    def alloc_pages(self, nframes: int, max_run: Optional[int] = None) -> List[FrameRange]:
-        """Allocate ``nframes`` as a list of runs, first-fit, possibly split.
+    def alloc_pages(self, nframes: int, max_run: Optional[int] = None) -> FrameRangeList:
+        """Allocate ``nframes`` as a run list, first-fit, possibly split.
 
         ``max_run`` caps each run's length (``alloc_scattered`` passes 1 to
-        produce fully discontiguous lists).
+        produce fully discontiguous lists). Returns a
+        :class:`FrameRangeList`; splitting a fragmented multi-GiB grab by
+        ``max_run`` is a vectorized chop per free-list run, not one
+        Python object per resulting run.
         """
         if nframes <= 0:
             raise ValueError(f"bad allocation size {nframes}")
@@ -131,21 +211,30 @@ class FrameAllocator:
             raise OutOfMemoryError(
                 f"need {nframes} frames, only {self.free_frames} free"
             )
-        got: List[FrameRange] = []
+        taken: List[List[int]] = []  # whole [start, take] grabs, pre-split
         remaining = nframes
         while remaining > 0:
             start, end = self._free[0]
             take = min(remaining, end - start)
-            if max_run is not None:
-                take = min(take, max_run)
             self._free[0][0] = start + take
             if self._free[0][0] == self._free[0][1]:
                 del self._free[0]
-            got.append(FrameRange(start, take))
+            taken.append([start, take])
             remaining -= take
-        return got
+        if max_run is None:
+            grabs = np.asarray(taken, dtype=np.int64)
+            return FrameRangeList(grabs[:, 0], grabs[:, 1])
+        parts = []
+        for start, take in taken:
+            heads = np.arange(0, take, max_run, dtype=np.int64)
+            lengths = np.minimum(max_run, take - heads)
+            parts.append((start + heads, lengths))
+        return FrameRangeList(
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+        )
 
-    def alloc_scattered(self, nframes: int) -> List[FrameRange]:
+    def alloc_scattered(self, nframes: int) -> FrameRangeList:
         """Allocate ``nframes`` pairwise *non-adjacent* frames.
 
         Models the paper's §4.4 observation that host frames pinned for
@@ -160,17 +249,15 @@ class FrameAllocator:
         if self.free_frames < 2 * nframes:
             return self.alloc_pages(nframes, max_run=1)
         pairs = self.alloc_pages(2 * nframes, max_run=2)
-        got: List[FrameRange] = []
-        holes: List[FrameRange] = []
-        for rng in pairs:
-            if len(got) < nframes:
-                got.append(FrameRange(rng.start_pfn, 1))
-                if rng.nframes == 2:
-                    holes.append(FrameRange(rng.start_pfn + 1, 1))
-            else:
-                holes.append(rng)
-        for hole in holes:
-            self.free(hole)
+        ones = np.ones(nframes, dtype=np.int64)
+        got = FrameRangeList(pairs.starts[:nframes], ones)
+        wide = pairs.lengths[:nframes] == 2
+        self.free_run_list(
+            FrameRangeList(
+                np.concatenate((pairs.starts[:nframes][wide] + 1, pairs.starts[nframes:])),
+                np.concatenate((ones[: int(wide.sum())], pairs.lengths[nframes:])),
+            )
+        )
         return got
 
     def free(self, rng: FrameRange) -> None:
@@ -194,8 +281,44 @@ class FrameAllocator:
 
     def free_all(self, ranges: Iterable[FrameRange]) -> None:
         """Free every range in the iterable."""
+        if isinstance(ranges, FrameRangeList):
+            self.free_run_list(ranges)
+            return
         for rng in ranges:
             self.free(rng)
+
+    def free_run_list(self, runs: FrameRangeList) -> None:
+        """Return a whole run list to the free list in one merge.
+
+        Vectorized counterpart of per-range :meth:`free`: one sorted
+        merge of the incoming runs with the existing free list, with the
+        same window and double-free checks, then a single coalescing
+        pass. All-or-nothing — a bad run leaves the free list untouched.
+        """
+        if len(runs) == 0:
+            return
+        order = np.argsort(runs.starts, kind="stable")
+        new_starts = runs.starts[order]
+        new_ends = new_starts + runs.lengths[order]
+        if new_starts[0] < self.start_pfn or new_ends[-1] > self.start_pfn + self.nframes:
+            bad = int(new_starts[0] if new_starts[0] < self.start_pfn else new_starts[-1])
+            raise ValueError(f"range at pfn {bad} outside allocator window")
+        if len(self._free):
+            free_arr = np.asarray(self._free, dtype=np.int64)
+            starts = np.concatenate((free_arr[:, 0], new_starts))
+            ends = np.concatenate((free_arr[:, 1], new_ends))
+        else:
+            starts, ends = new_starts, new_ends
+        order = np.argsort(starts, kind="stable")
+        starts, ends = starts[order], ends[order]
+        if len(starts) > 1 and (ends[:-1] > starts[1:]).any():
+            where = int(np.flatnonzero(ends[:-1] > starts[1:])[0])
+            raise ValueError(f"double free of frames near pfn {int(starts[where + 1])}")
+        keep = np.concatenate(([True], starts[1:] != ends[:-1]))
+        heads = np.flatnonzero(keep)
+        merged_starts = starts[heads]
+        merged_ends = ends[np.concatenate((heads[1:] - 1, [len(ends) - 1]))]
+        self._free = [list(pair) for pair in zip(merged_starts.tolist(), merged_ends.tolist())]
 
     def _coalesce(self, i: int) -> None:
         # merge with next

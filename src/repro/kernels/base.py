@@ -110,14 +110,10 @@ class KernelBase:
         exporting enclave.
         """
         self._own_process(proc)
-        import numpy as np
-
         for region in list(proc.aspace.regions):
             pfns = proc.aspace.unmap_populated_pages(region)
             if len(pfns):
-                own = pfns[np.fromiter(
-                    (self.owns_pfn(int(p)) for p in pfns), dtype=bool, count=len(pfns)
-                )]
+                own = pfns[self.owns_pfn_mask(pfns)]
                 if len(own):
                     self.free_pfns(own)
         proc.exit()
@@ -136,8 +132,9 @@ class KernelBase:
 
     def free_pfns(self, pfns: np.ndarray) -> None:
         """Return frames to the partition (order-insensitive, coalescing)."""
-        for rng in pfns_to_ranges(np.sort(np.asarray(pfns, dtype=np.int64))):
-            self.allocator.free(rng)
+        self.allocator.free_run_list(
+            pfns_to_ranges(np.sort(np.asarray(pfns, dtype=np.int64)))
+        )
 
     def owns_pfn(self, pfn: int) -> bool:
         """True when ``pfn`` lies inside this enclave's memory partition."""
@@ -146,6 +143,12 @@ class KernelBase:
             <= pfn
             < self.allocator.start_pfn + self.allocator.nframes
         )
+
+    def owns_pfn_mask(self, pfns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owns_pfn`: boolean per frame of ``pfns``."""
+        pfns = np.asarray(pfns, dtype=np.int64)
+        start = self.allocator.start_pfn
+        return (pfns >= start) & (pfns < start + self.allocator.nframes)
 
     # -- XEMEM mapping services (paper §4.3) ----------------------------------------
 
@@ -216,9 +219,7 @@ class KernelBase:
         self._own_process(proc)
         yield self.engine.sleep(npages * self.costs.page_touch_ns)
         if write and not proc.aspace.table.range_flags_all(vaddr, npages, PTE_WRITABLE):
-            first = int(
-                np.flatnonzero(~proc.aspace.table.flag_mask(vaddr, npages, PTE_WRITABLE))[0]
-            )
+            first = proc.aspace.table.first_missing_flag(vaddr, npages, PTE_WRITABLE)
             raise PageFault(vaddr + first * PAGE_SIZE, write=True)
         proc.aspace.table.translate_range(vaddr, npages)
         return npages

@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro import obs
+from repro.hw.memory import FrameAllocator, FrameRange, OutOfMemoryError
 from repro.hw.topology import Core
 from repro.kernels.addrspace import Region, RegionKind
 from repro.kernels.base import KernelBase, KernelError
@@ -73,8 +74,6 @@ class KittenKernel(KernelBase):
             aspace.map_region_pfns(region, self.alloc_pfns(npages))
         dyn_start_page = (HEAP_BASE + self.heap_pages * PAGE_SIZE) // PAGE_SIZE
         dyn_end_page = (STACK_TOP - STACK_PAGES * PAGE_SIZE) // PAGE_SIZE
-        from repro.hw.memory import FrameAllocator
-
         # page-numbered VA allocator for the dynamic expansion area
         self._dyn_va[proc.pid] = FrameAllocator(
             dyn_start_page, dyn_end_page - dyn_start_page
@@ -131,8 +130,6 @@ class KittenKernel(KernelBase):
         regions' address space is recycled via :meth:`unmap_attachment`.
         """
         self._own_process(proc)
-        from repro.hw.memory import OutOfMemoryError
-
         try:
             va_run = self._dyn_va[proc.pid].alloc(npages)
         except OutOfMemoryError as err:
@@ -152,8 +149,6 @@ class KittenKernel(KernelBase):
         pfns = yield from super().unmap_attachment(proc, region)
         dyn = self._dyn_va.get(proc.pid)
         if dyn is not None and dyn.start_pfn <= start_page < dyn.start_pfn + dyn.nframes:
-            from repro.hw.memory import FrameRange
-
             dyn.free(FrameRange(start_page, npages))
         return pfns
 

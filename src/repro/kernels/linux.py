@@ -141,9 +141,7 @@ class LinuxKernel(KernelBase):
             # Fully populated: no demand faults possible, but a write
             # through pages mapped read-only still protection-faults.
             if write and not table.range_flags_all(vaddr, npages, PTE_WRITABLE):
-                first = int(
-                    np.flatnonzero(~table.flag_mask(vaddr, npages, PTE_WRITABLE))[0]
-                )
+                first = table.first_missing_flag(vaddr, npages, PTE_WRITABLE)
                 raise PageFault(vaddr + first * PAGE_SIZE, write=True)
         elif self._batch_faultable(table, region, vaddr, npages, write):
             missing = np.flatnonzero(~table.present_mask(vaddr, npages))

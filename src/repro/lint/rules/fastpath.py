@@ -1,15 +1,18 @@
 """REP005 — fast-path gate hygiene.
 
 Every ``repro.sim.fastpath`` flag guards a *semantics-preserving* hot
-path: docs/COSTMODEL.md requires each gated branch to have a slow twin
-producing identical virtual end times, counters, and traces, and the
-differential tests flip one flag at a time. Two structural properties
-make that auditable:
+path, and ``repro.sim.fidelity``'s mode selects between storage-layout
+twins under the same contract: docs/COSTMODEL.md requires each gated
+branch to have a slow/detailed twin producing identical virtual end
+times, counters, and traces, and the differential tests flip one flag
+(or the fidelity mode) at a time. Two structural properties make that
+auditable:
 
-* a gated ``if`` must have an ``else`` (the slow twin), or its body
-  must leave the function (``return``/``raise``/``continue``/``break``)
-  so the fall-through code *is* the slow twin;
-* gates must not nest — a fast path inside another fast path cannot be
+* a gated ``if`` must have an ``else`` (the twin), or its body must
+  leave the function (``return``/``raise``/``continue``/``break``)
+  so the fall-through code *is* the twin;
+* gates must not nest — not even across the two switchboards: a
+  fidelity gate inside a fast-path gate (or vice versa) cannot be
   isolated by single-flag differential testing.
 """
 
@@ -20,18 +23,26 @@ import ast
 from repro.lint.findings import Severity
 from repro.lint.visitor import Rule
 
-#: The switchboard object every gate reads.
-FASTPATH_QUALNAME = "repro.sim.fastpath.FASTPATH"
+#: The switchboard objects a gate may read: call-time FASTPATH flags
+#: and the construction-time FIDELITY mode.
+GATE_QUALNAMES = (
+    "repro.sim.fastpath.FASTPATH",
+    "repro.sim.fidelity.FIDELITY",
+)
+
+#: Backward-compatible alias (pre-fidelity name).
+FASTPATH_QUALNAME = GATE_QUALNAMES[0]
 
 _TERMINAL = (ast.Return, ast.Raise, ast.Continue, ast.Break)
 
 
 def mentions_fastpath(node: ast.AST, ctx) -> bool:
-    """True when ``node``'s subtree reads a ``FASTPATH`` flag."""
+    """True when ``node``'s subtree reads a FASTPATH flag or the
+    FIDELITY mode."""
     for sub in ast.walk(node):
         if isinstance(sub, (ast.Name, ast.Attribute)):
             resolved = ctx.resolve(sub)
-            if resolved is not None and resolved.startswith(FASTPATH_QUALNAME):
+            if resolved is not None and resolved.startswith(GATE_QUALNAMES):
                 return True
     return False
 

@@ -353,12 +353,14 @@ class Auditor:
     def _check_refcounts(self, fail) -> None:
         for module in self.modules:
             name = module.enclave.name
+            # Negative counts and released-but-registered grants fall out
+            # of single vectorized masks over the SoA columns.
+            for apid in module._live_attachments.negative_apids().tolist():
+                fail("refcount-balance",
+                     f"{name}: apid {apid} live-attachment count "
+                     f"{module._live_attachments[apid]} is negative")
             for apid, live in module._live_attachments.items():
-                if live < 0:
-                    fail("refcount-balance",
-                         f"{name}: apid {apid} live-attachment count {live} "
-                         "is negative")
-                elif live > 0 and apid not in module.grants:
+                if live > 0 and apid not in module.grants:
                     fail("refcount-balance",
                          f"{name}: apid {apid} has {live} live attachments "
                          "but no grant")
@@ -367,16 +369,11 @@ class Auditor:
                     fail("refcount-balance",
                          f"{name}: SMARTMAP refcount {refs} for {key} is "
                          "negative")
-            for apid, grant in module.grants.items():
-                if grant.released:
-                    fail("refcount-balance",
-                         f"{name}: apid {apid} is released but still "
-                         "registered")
-            local_by_segid: dict = {}
-            for grant in module.grants.values():
-                if grant.owner_is_local:
-                    segid = int(grant.segid)
-                    local_by_segid[segid] = local_by_segid.get(segid, 0) + 1
+            for apid in module.grants.released_apids().tolist():
+                fail("refcount-balance",
+                     f"{name}: apid {apid} is released but still "
+                     "registered")
+            local_by_segid = module.grants.counts_by_segid(owner_local_only=True)
             for segid, seg in module.segments.items():
                 if seg.grants_out < 0:
                     fail("refcount-balance",
@@ -412,9 +409,8 @@ class Auditor:
         if not self._lossy_faults():
             grants_by_segid: dict = {}
             for module in self.modules:
-                for grant in module.grants.values():
-                    segid = int(grant.segid)
-                    grants_by_segid[segid] = grants_by_segid.get(segid, 0) + 1
+                for segid, count in module.grants.counts_by_segid().items():
+                    grants_by_segid[segid] = grants_by_segid.get(segid, 0) + count
             for module in self.modules:
                 for segid, seg in module.segments.items():
                     held = grants_by_segid.get(segid, 0)

@@ -31,6 +31,11 @@ Flags (all default on; see docs/COSTMODEL.md for the invariants):
 
 Setting ``REPRO_FASTPATH=0`` in the environment starts with every flag
 off (the slow reference paths).
+
+These flags toggle *algorithmic* twins and are read at call time.
+Storage-*layout* twins (the columnar vs radix page-table stores) are
+selected by the separate, construction-time switchboard in
+:mod:`repro.sim.fidelity`; both obey the same REP005 gate hygiene.
 """
 
 from __future__ import annotations

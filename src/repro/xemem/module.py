@@ -43,7 +43,7 @@ from repro.xemem.ids import (
 )
 from repro.xemem.nameserver import NameServer
 from repro.xemem.routing import RoutingError, RoutingTable
-from repro.xemem.shmem import ApGrant, AttachedRegion, ExportedSegment
+from repro.xemem.shmem import AttachedRegion, ExportedSegment, GrantTable, LiveCounts
 
 #: Bound on the retried-request replay cache (FIFO eviction). Large
 #: enough that a response outlives its request's full retry budget.
@@ -61,7 +61,8 @@ class XememModule:
         self.routing = RoutingTable()
         self.nameserver: Optional[NameServer] = NameServer() if is_name_server else None
         self.segments: Dict[int, ExportedSegment] = {}
-        self.grants: Dict[int, ApGrant] = {}
+        #: Columnar grant list (SoA; dict-like surface keyed by apid).
+        self.grants = GrantTable()
         self._pending: Dict[str, object] = {}      # req_id -> Event
         self._ping_pending: Dict[str, object] = {} # token -> Event
         self._forwarded: Dict[str, Channel] = {}   # discovery req_id -> origin
@@ -74,7 +75,7 @@ class XememModule:
         #: waiter side: segid -> (pending signal count, waiting Events)
         self._signal_state: Dict[int, list] = {}
         #: live attachment count per apid (release is refused while > 0)
-        self._live_attachments: Dict[int, int] = {}
+        self._live_attachments = LiveCounts()
         #: live AttachedRegion objects per apid, for crash-time invalidation
         self._attachments_by_apid: Dict[int, list] = {}
         # -- failure-resilience state --
@@ -818,7 +819,7 @@ class XememModule:
                 )
                 npages = resp.payload["npages"]
         apid = ApId((self.my_id << 20) | next(self._apid_counter))
-        self.grants[int(apid)] = ApGrant(
+        self.grants.insert(
             apid, segid, proc, npages, write, owner_is_local=local is not None
         )
         return apid
@@ -898,9 +899,7 @@ class XememModule:
         o.counter("xemem.attach.pages").inc(npages)
         o.histogram("xemem.attach.ns").observe(self.engine.now - t0)
         self.stats["attaches_made"] += 1
-        self._live_attachments[int(grant.apid)] = (
-            self._live_attachments.get(int(grant.apid), 0) + 1
-        )
+        self._live_attachments.bump(int(grant.apid), 1)
         self._attachments_by_apid.setdefault(int(grant.apid), []).append(attached)
         return attached
 

@@ -1,0 +1,177 @@
+"""Regression tests for the SMARTMAP write-through and map-leak fixes.
+
+Three bugs are pinned down here, each under both fidelity stores:
+
+* borrowed (SMARTMAP) slots were guarded only on ``unmap_page`` —
+  ``set_flags``, ``set_flags_range``, and ``unmap_range`` could write
+  through to the donor's tree, and a range straddling the borrowed-slot
+  boundary could half-mutate it;
+* ``map_pages_sparse`` silently corrupted presence accounting on
+  unsorted or duplicate ``page_indices`` (the leaf-grouping fill
+  collapses duplicates to one PTE);
+* a failed all-or-nothing validation in ``map_range`` /
+  ``map_pages_sparse`` leaked freshly created empty leaf tables, which
+  spuriously claimed the PML4 slot and blocked a later
+  ``share_pml4_slot``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.pagetable import (
+    PAGE_SIZE,
+    PML4_SLOT_SPAN,
+    PTE_PINNED,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+    PageTable,
+)
+from repro.sim import fidelity
+
+RW = PTE_PRESENT | PTE_WRITABLE | PTE_USER
+SLOT = 3
+BASE = SLOT * PML4_SLOT_SPAN
+
+
+@pytest.fixture(params=["fast", "detailed"])
+def fid(request):
+    """Run each regression against both storage-fidelity twins."""
+    with fidelity.configured(request.param):
+        yield request.param
+
+
+def _snapshot(table, npages=8):
+    """Everything a donor-side mutation could have disturbed."""
+    return (
+        table.present_pfns().tolist(),
+        table.mapped_vaddrs(),
+        [table.translate(i * PAGE_SIZE)[1] for i in range(npages)],
+        table.generation,
+    )
+
+
+def _borrowed_pair(npages=8):
+    donor = PageTable()
+    donor.map_range(0, np.arange(100, 100 + npages, dtype=np.int64), RW)
+    borrower = PageTable()
+    borrower.share_pml4_slot(SLOT, donor)
+    return donor, borrower
+
+
+# -- borrowed-slot write-through ----------------------------------------------
+
+
+def test_set_flags_borrowed_rejected(fid):
+    donor, borrower = _borrowed_pair()
+    before = _snapshot(donor)
+    with pytest.raises(ValueError, match="borrowed"):
+        borrower.set_flags(BASE, set_mask=PTE_PINNED)
+    assert _snapshot(donor) == before
+
+
+def test_set_flags_range_borrowed_rejected(fid):
+    donor, borrower = _borrowed_pair()
+    before = _snapshot(donor)
+    with pytest.raises(ValueError, match="borrowed"):
+        borrower.set_flags_range(BASE, 8, set_mask=PTE_PINNED)
+    assert _snapshot(donor) == before
+
+
+def test_unmap_range_borrowed_rejected(fid):
+    donor, borrower = _borrowed_pair()
+    before = _snapshot(donor)
+    with pytest.raises(ValueError, match="borrowed"):
+        borrower.unmap_range(BASE, 8)
+    assert _snapshot(donor) == before
+
+
+def test_map_range_borrowed_rejected(fid):
+    donor, borrower = _borrowed_pair()
+    before = _snapshot(donor)
+    with pytest.raises(ValueError, match="borrowed"):
+        borrower.map_range(BASE + 64 * PAGE_SIZE, np.array([9], dtype=np.int64), RW)
+    assert _snapshot(donor) == before
+
+
+def test_straddling_range_cannot_half_mutate(fid):
+    """A range entering the borrowed slot is rejected before ANY page —
+    including the borrower-owned pages below the boundary — mutates."""
+    donor, borrower = _borrowed_pair()
+    edge = BASE - 4 * PAGE_SIZE  # last 4 pages of the borrower-owned slot 2
+    borrower.map_range(edge, np.arange(50, 54, dtype=np.int64), RW)
+    donor_before = _snapshot(donor)
+    own_before = [borrower.translate(edge + i * PAGE_SIZE) for i in range(4)]
+    with pytest.raises(ValueError, match="borrowed"):
+        borrower.set_flags_range(edge, 8, set_mask=PTE_PINNED)
+    with pytest.raises(ValueError, match="borrowed"):
+        borrower.unmap_range(edge, 8)
+    assert _snapshot(donor) == donor_before
+    assert [borrower.translate(edge + i * PAGE_SIZE) for i in range(4)] == own_before
+
+
+def test_straddling_sparse_map_rejected(fid):
+    donor, borrower = _borrowed_pair()
+    edge = BASE - 4 * PAGE_SIZE
+    with pytest.raises(ValueError, match="borrowed"):
+        borrower.map_pages_sparse(
+            edge, np.array([0, 6], dtype=np.int64),
+            np.array([60, 61], dtype=np.int64), RW,
+        )
+    assert borrower.present_pages == 0
+
+
+# -- sparse-index validation --------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "indices", [[1, 1, 2], [2, 1, 3], [5, 0], [-1, 0]],
+    ids=["duplicate", "unsorted", "descending", "negative"],
+)
+def test_bad_sparse_indices_rejected_before_mutation(fid, indices):
+    pt = PageTable()
+    idx = np.array(indices, dtype=np.int64)
+    with pytest.raises(ValueError):
+        pt.map_pages_sparse(BASE, idx, np.arange(len(idx), dtype=np.int64) + 10, RW)
+    assert pt.present_pages == 0
+    assert pt.generation == 0
+    assert pt.mapped_vaddrs() == []
+
+
+def test_good_sparse_indices_still_accepted(fid):
+    pt = PageTable()
+    idx = np.array([0, 2, 3, 700], dtype=np.int64)
+    pt.map_pages_sparse(BASE, idx, idx + 10, RW)
+    assert pt.present_pages == 4
+    assert pt.translate(BASE + 700 * PAGE_SIZE)[0] == 710
+
+
+# -- structural leak on rejected maps -----------------------------------------
+
+
+def test_rejected_map_range_claims_no_pml4_slot(fid):
+    pt = PageTable()
+    edge = BASE - PAGE_SIZE  # last page of slot 2
+    pt.map_page(edge, 7, RW)
+    before = (pt.present_pfns().tolist(), pt.mapped_vaddrs(), pt.generation)
+    with pytest.raises(ValueError, match="already mapped"):
+        # straddles into slot 3; collides on its very first page
+        pt.map_range(edge, np.arange(10, 14, dtype=np.int64), RW)
+    assert (pt.present_pfns().tolist(), pt.mapped_vaddrs(), pt.generation) == before
+    donor = PageTable()
+    donor.map_page(0, 1, RW)
+    pt.share_pml4_slot(SLOT, donor)  # the rejected map must not have claimed it
+
+
+def test_rejected_sparse_map_claims_no_pml4_slot(fid):
+    pt = PageTable()
+    edge = BASE - PAGE_SIZE
+    pt.map_page(edge, 7, RW)
+    with pytest.raises(ValueError, match="already mapped"):
+        pt.map_pages_sparse(
+            edge, np.array([0, 1], dtype=np.int64),
+            np.array([5, 6], dtype=np.int64), RW,
+        )
+    donor = PageTable()
+    donor.map_page(0, 1, RW)
+    pt.share_pml4_slot(SLOT, donor)

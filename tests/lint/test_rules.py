@@ -177,6 +177,30 @@ def test_rep005_unrelated_if_ok():
     check("def f(x):\n    if x:\n        y = 1\n    return 0\n", [])
 
 
+_FID = "from repro.sim.fidelity import FIDELITY\n"
+
+
+def test_rep005_fidelity_gate_without_twin():
+    check(_FID + "def f():\n"
+          "    if FIDELITY.columnar:\n        x = 1\n    return 2\n",
+          ["REP005"])
+
+
+def test_rep005_fidelity_else_twin_ok():
+    check(_FID + "def f():\n"
+          "    if FIDELITY.columnar:\n        a = 1\n"
+          "    else:\n        a = 2\n    return a\n", [])
+
+
+def test_rep005_cross_switchboard_nesting():
+    check(_FP + _FID + "def f():\n"
+          "    if FASTPATH.walk_cache:\n"
+          "        if FIDELITY.columnar:\n            return 1\n"
+          "        return 2\n"
+          "    return 3\n",
+          ["REP005"])
+
+
 # -- REP006 engine discipline ------------------------------------------------
 
 def test_rep006_heapq_outside_engine():
