@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test audit chaos lint lint-repro bench bench-compare serve-report figures examples clean
+.PHONY: install test audit chaos lint lint-repro bench bench-compare serve-report figures examples clean diagnose perf-diff
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -41,14 +41,30 @@ bench-output:
 
 # Both speed gates (the 1 GiB fast-path win and the 16 GiB columnar
 # win) merge-write one results file, so run them together before the
-# comparison.
+# comparison. The trace-capture test writes the deterministic sibling
+# capture the comparator feeds to perf-diff when a gate fails.
 bench-compare:
 	$(PYTHON) -m pytest \
 		benchmarks/test_simulator_speed.py::test_speed_fastpath_1gib_attach_speedup \
-		benchmarks/test_simulator_speed.py::test_speed_columnar_16gib_pipeline_speedup -q
+		benchmarks/test_simulator_speed.py::test_speed_columnar_16gib_pipeline_speedup \
+		benchmarks/test_simulator_speed.py::test_speed_trace_capture_sibling -q
 	$(PYTHON) -m repro.obs.bench benchmarks/baselines/BENCH_speed.json benchmarks/results/BENCH_speed.json --tolerance 0.15
 	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q
 	$(PYTHON) -m repro.obs.bench benchmarks/baselines/BENCH_obs_overhead.json benchmarks/results/BENCH_obs_overhead.json --tolerance 0.15
+
+# Render an incident bundle as a causal timeline:
+#   make diagnose BUNDLE=incident-chaos
+BUNDLE ?= incident-chaos
+diagnose:
+	PYTHONPATH=src $(PYTHON) -m repro diagnose $(BUNDLE)
+
+# Attribute the virtual-time delta between two captures (trace exports
+# or incident bundles):
+#   make perf-diff BASELINE=a.trace.json CURRENT=b.trace.json
+BASELINE ?= benchmarks/baselines/BENCH_speed.trace.json
+CURRENT ?= benchmarks/results/BENCH_speed.trace.json
+perf-diff:
+	PYTHONPATH=src $(PYTHON) -m repro perf-diff $(BASELINE) $(CURRENT)
 
 # The full serving-telemetry pipeline: closed-loop sessions, time-series,
 # SLO verdicts, journeys, and every exporter under serve-report/.

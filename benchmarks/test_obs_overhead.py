@@ -3,9 +3,11 @@
 The differential tests (``tests/obs/test_nonperturbation.py``) prove
 observability never changes *what* the simulation computes; this
 benchmark bounds what it costs in host wall clock. A Fig. 5-scale
-attach/touch/detach workload runs dark and then under full span tracing
-+ metrics + time-series windows; the slowdown must stay under 25%, or
-the "default-off, cheap-when-on" contract of ``repro.obs`` is broken.
+attach/touch/detach workload runs dark, then under full span tracing
++ metrics + time-series windows (the slowdown must stay under 25%), and
+then with only the flight-recorder black box armed — a ring-capped span
+tail + metrics, no engine hook — which must stay under 5%, or the
+"always-on black box" premise of ``repro.obs.flightrec`` is broken.
 
 Emits ``benchmarks/results/BENCH_obs_overhead.json`` for the
 ``make bench-compare`` / CI regression gate.
@@ -21,11 +23,14 @@ from repro.hw.costs import GB, PAGE_4K
 from repro.xemem import XpmemApi
 
 
-def _fig5_scale_cycle_seconds(observed: bool, cycles: int, touches: int,
+def _fig5_scale_cycle_seconds(mode: str, cycles: int, touches: int,
                               npages: int) -> float:
     """Wall time for the Fig. 5 shape (one standing 1 GiB export,
-    repeated attach/touch/detach), optionally under the full pipeline
-    (tracing + metrics + tumbling time-series windows)."""
+    repeated attach/touch/detach) in one of three modes: ``"dark"``
+    (no observability at all), ``"full"`` (tracing + metrics + tumbling
+    time-series windows — the engine-hook pipeline), or ``"flightrec"``
+    (the black box: ring-capped span tail + metrics + armed
+    :class:`~repro.obs.flightrec.FlightRecorder`, no engine hook)."""
 
     def measure() -> float:
         rig = build_cokernel_system(num_cokernels=1)
@@ -56,8 +61,12 @@ def _fig5_scale_cycle_seconds(observed: bool, cycles: int, touches: int,
             eng.run_process(run())
         return time.perf_counter() - t0
 
-    if observed:
+    if mode == "full":
         with obs.observing(trace=True, metrics=True, timeseries=True):
+            return measure()
+    if mode == "flightrec":
+        with obs.observing(trace=True, metrics=True, max_trace_events=256,
+                           flightrec=True):
             return measure()
     return measure()
 
@@ -65,16 +74,23 @@ def _fig5_scale_cycle_seconds(observed: bool, cycles: int, touches: int,
 def test_obs_overhead_under_25pct_at_fig5_scale():
     npages = GB // PAGE_4K
     cycles, touches = 3, 8
-    # best-of-2 per mode to shave scheduler noise
+    # one unmeasured warmup, then best-of-3 per mode to shave scheduler
+    # noise — the flightrec gate is tight (5%), so noise matters
+    _fig5_scale_cycle_seconds("dark", cycles, touches, npages)
     dark = min(
-        _fig5_scale_cycle_seconds(False, cycles, touches, npages)
-        for _ in range(2)
+        _fig5_scale_cycle_seconds("dark", cycles, touches, npages)
+        for _ in range(3)
     )
     observed = min(
-        _fig5_scale_cycle_seconds(True, cycles, touches, npages)
-        for _ in range(2)
+        _fig5_scale_cycle_seconds("full", cycles, touches, npages)
+        for _ in range(3)
+    )
+    flightrec = min(
+        _fig5_scale_cycle_seconds("flightrec", cycles, touches, npages)
+        for _ in range(3)
     )
     overhead_pct = (observed / dark - 1.0) * 100.0
+    flightrec_pct = (flightrec / dark - 1.0) * 100.0
     results = pathlib.Path(__file__).parent / "results"
     results.mkdir(exist_ok=True)
     (results / "BENCH_obs_overhead.json").write_text(json.dumps({
@@ -85,14 +101,24 @@ def test_obs_overhead_under_25pct_at_fig5_scale():
         "touches_per_cycle": touches,
         "dark_seconds": round(dark, 6),
         "observed_seconds": round(observed, 6),
-        # The baseline gate compares the ratio, not the absolute seconds:
-        # wall-clock varies run-to-run and machine-to-machine, but the
-        # observed/dark ratio is measured within one run and is stable.
+        "flightrec_seconds": round(flightrec, 6),
+        # The baseline gate compares the ratios, not the absolute
+        # seconds: wall-clock varies run-to-run and machine-to-machine,
+        # but the observed/dark ratio is measured within one run and is
+        # stable.
         "overhead_ratio": round(observed / dark, 4),
         "overhead_pct": round(overhead_pct, 2),
         "max_overhead_pct": 25.0,
+        "flightrec_overhead_ratio": round(flightrec / dark, 4),
+        "flightrec_overhead_pct": round(flightrec_pct, 2),
+        "max_flightrec_overhead_pct": 5.0,
     }, indent=2) + "\n")
     assert overhead_pct < 25.0, (
         f"tracing+metrics cost {overhead_pct:.1f}% wall clock "
         f"(dark={dark:.3f}s, observed={observed:.3f}s)"
+    )
+    assert flightrec_pct < 5.0, (
+        f"armed flight recorder cost {flightrec_pct:.1f}% wall clock "
+        f"(dark={dark:.3f}s, flightrec={flightrec:.3f}s) — the black box "
+        "must stay near-free while idle"
     )

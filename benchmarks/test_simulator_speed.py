@@ -231,6 +231,52 @@ def test_speed_columnar_16gib_pipeline_speedup():
     )
 
 
+def test_speed_trace_capture_sibling():
+    """Emit ``results/BENCH_speed.trace.json`` — the deterministic trace
+    capture that rides next to ``BENCH_speed.json``.
+
+    The bench gate (``repro.obs.bench``) resolves the sibling convention
+    ``BENCH_x.json`` → ``BENCH_x.trace.json``: when the speed gate fails,
+    it feeds the committed baseline capture and this fresh one through
+    ``repro.obs.diff`` and prints *which subsystem and span names* moved.
+    The capture is the Fig. 5 shape at small scale (fast paths on,
+    detailed fidelity), recorded on the virtual clock only — byte-
+    identical across runs, so any diff against the baseline is a real
+    behavior change, not noise.
+    """
+    from repro import obs
+
+    npages = 4 * MB // PAGE_4K
+    with fastpath.enabled(), fidelity.detailed(), \
+            obs.observing(trace=True, metrics=False) as ctx:
+        rig = build_cokernel_system(num_cokernels=1)
+        eng = rig.engine
+        kitten = rig.cokernels[0].kernel
+        kitten.heap_pages = npages + 16
+        kp = kitten.create_process("exp")
+        lp = rig.linux.kernel.create_process("att", core_id=2)
+        heap = kitten.heap_region(kp)
+        api_k, api_l = XpmemApi(kp), XpmemApi(lp)
+
+        def run():
+            segid = yield from api_k.xpmem_make(heap.start, npages * PAGE_4K)
+            apid = yield from api_l.xpmem_get(segid)
+            att = yield from api_l.xpmem_attach(apid)
+            for _ in range(2):
+                yield from rig.linux.kernel.touch_pages(
+                    lp, att.vaddr, npages, write=True
+                )
+            yield from api_l.xpmem_detach(att)
+            yield from api_l.xpmem_release(apid)
+
+        eng.run_process(run())
+    assert len(ctx.tracer) > 0 and ctx.tracer.dropped == 0
+    results = pathlib.Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    with open(results / "BENCH_speed.trace.json", "w") as fp:
+        ctx.tracer.to_chrome(fp)
+
+
 def test_speed_rb_memmap_insert_64k_entries(benchmark):
     """Per-page RB-tree mirror: 65 536 scattered-frame inserts + removal."""
     costs = CostModel()

@@ -12,8 +12,12 @@ Usage::
     python -m repro ablations [--reps 3]
     python -m repro all
     python -m repro chaos [--seed N] [--plan SPEC] [--cokernels N] [--ops N]
+                          [--bundle-dir DIR]
     python -m repro inspect trace.json [--attribute]
     python -m repro report trace.json [--json]
+    python -m repro diagnose <bundle-dir> [--window-ns N] [--json]
+    python -m repro perf-diff baseline current [--top N] [--json]
+                              [--min-coverage F]
     python -m repro serve-report [--seed N] [--sessions N] [--slo SPEC]
                                  [--out-dir DIR] [--fail-on-violation]
     python -m repro lint [paths...] [--format text|json] [--select ...]
@@ -22,6 +26,10 @@ Usage::
 (attribution coverage below 100% due to drops). ``serve-report`` runs
 the closed-loop serving scenario under the full telemetry pipeline
 (time-series, SLOs, journeys, exporters) — see repro.obs.serve_cli.
+``chaos`` exits 2 (and prints the incident-bundle path) when the run
+ends with unreclaimed crash state; ``diagnose`` renders a bundle as a
+causal timeline and ``perf-diff`` attributes the virtual-time delta
+between two captures — see docs/OBSERVABILITY.md.
 
 Each command builds the experiment from scratch, runs it on the virtual
 clock, and prints the same rows/series the paper reports.
@@ -33,6 +41,9 @@ Every figure command also accepts the observability flags::
     --metrics            print a metrics snapshot after the figures
     --metrics-out m.json write the metrics snapshot to a file
     --profile            print the simulator's wallclock hot-path profile
+    --flightrec          arm the flight-recorder black box (dumps an
+                         incident bundle on unhandled exceptions)
+    --flightrec-dump DIR arm the black box and always dump a bundle to DIR
 
 All recording is against the virtual clock (traces and metrics are
 byte-identical between identical runs); only ``--profile`` reads host
@@ -314,13 +325,20 @@ def _report(args):
     ), code
 
 
-def _chaos(args) -> str:
-    """Seeded fault-injection run: lossy channels + enclave crash."""
+def _chaos(args):
+    """Seeded fault-injection run: lossy channels + enclave crash.
+
+    Returns ``(text, exit_code)``: exit 2 when the run ended with
+    unreclaimed crash state (segids still registered to a dead owner, or
+    a run that never quiesced) — the incident bundle path is in the
+    report text.
+    """
     from repro.faults.chaos import run_chaos
 
     report = run_chaos(seed=args.seed, plan_spec=args.plan,
-                       cokernels=args.cokernels, ops=args.ops)
-    return "\n".join(report.lines())
+                       cokernels=args.cokernels, ops=args.ops,
+                       flightrec_dir=args.bundle_dir)
+    return "\n".join(report.lines()), 0 if report.reclaimed else 2
 
 
 def _render_profile(engine_obs) -> str:
@@ -366,6 +384,16 @@ def main(argv=None) -> int:
         from repro.obs.serve_cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["diagnose"]:
+        # Incident-bundle renderer (docs/OBSERVABILITY.md).
+        from repro.obs.flightrec import main as diagnose_main
+
+        return diagnose_main(argv[1:])
+    if argv[:1] == ["perf-diff"]:
+        # Differential regression attribution between two captures.
+        from repro.obs.diff import main as diff_main
+
+        return diff_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the XEMEM paper's evaluation figures.",
@@ -393,6 +421,10 @@ def main(argv=None) -> int:
                         help="chaos: number of Kitten co-kernels")
     parser.add_argument("--ops", type=int, default=25,
                         help="chaos: attach/detach rounds per client")
+    parser.add_argument("--bundle-dir", metavar="DIR", default="incident-chaos",
+                        help="chaos: where an incident bundle is written when "
+                             "the run crashed an enclave or left unreclaimed "
+                             "state (default: %(default)s)")
     parser.add_argument("--trace", metavar="PATH",
                         help="record spans and write a Chrome/Perfetto trace")
     parser.add_argument("--trace-format", choices=("chrome", "jsonl"),
@@ -404,6 +436,12 @@ def main(argv=None) -> int:
                         help="write the metrics snapshot to PATH as JSON")
     parser.add_argument("--profile", action="store_true",
                         help="print the host-wallclock hot-path profile")
+    parser.add_argument("--flightrec", action="store_true",
+                        help="arm the flight-recorder black box; an incident "
+                             "bundle is dumped on unhandled exceptions")
+    parser.add_argument("--flightrec-dump", metavar="DIR",
+                        help="arm the black box and always dump an incident "
+                             "bundle to DIR when the run ends")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -418,11 +456,16 @@ def main(argv=None) -> int:
         print(text)
         return code
     if args.command == "chaos":
-        print(_chaos(args))
-        return 0
+        text, code = _chaos(args)
+        print(text)
+        return code
 
     want_metrics = args.metrics or bool(args.metrics_out)
-    want_obs = bool(args.trace) or want_metrics or args.profile
+    want_flightrec = args.flightrec or bool(args.flightrec_dump)
+    # The engine hook serves --trace/--metrics/--profile; the black box
+    # deliberately flies without one (its zero-overhead contract).
+    want_engine = bool(args.trace) or want_metrics or args.profile
+    want_obs = want_engine or want_flightrec
     names = sorted(COMMANDS) if args.command == "all" else [args.command]
 
     # Fail fast on unwritable export paths, not after the whole run.
@@ -434,15 +477,30 @@ def main(argv=None) -> int:
                 raise SystemExit(f"cannot write {path}: {exc.strerror}")
 
     with obs.observing(
-        trace=bool(args.trace),
-        metrics=want_metrics,
-        engine=want_obs,
+        trace=bool(args.trace) or want_flightrec,
+        metrics=want_metrics or want_flightrec,
+        engine=want_engine,
         profile=args.profile,
+        # Black-box-only runs fly with a bounded span tail; an explicit
+        # --trace keeps its capless buffer.
+        max_trace_events=None if args.trace else (512 if want_flightrec
+                                                  else None),
+        flightrec=want_flightrec,
     ) if want_obs else _null_obs() as ctx:
-        for name in names:
-            t0 = time.time()  # repro: noqa[REP001] reason=CLI progress display only; never enters simulation state or exports
-            print(COMMANDS[name](args))
-            print(f"[{name} regenerated in {time.time() - t0:.1f}s wall]\n")  # repro: noqa[REP001] reason=CLI progress display only; never enters simulation state or exports
+        try:
+            for name in names:
+                t0 = time.time()  # repro: noqa[REP001] reason=CLI progress display only; never enters simulation state or exports
+                print(COMMANDS[name](args))
+                print(f"[{name} regenerated in {time.time() - t0:.1f}s wall]\n")  # repro: noqa[REP001] reason=CLI progress display only; never enters simulation state or exports
+        except Exception as exc:
+            if want_flightrec:
+                path = _dump_flightrec(
+                    ctx, args.flightrec_dump or "incident-crash",
+                    args.command, "unhandled.exception",
+                    error=type(exc).__name__,
+                )
+                print(f"[incident bundle: {path}]", file=sys.stderr)
+            raise
 
         if args.trace:
             with open(args.trace, "w") as fp:
@@ -465,7 +523,31 @@ def main(argv=None) -> int:
                 print(text)
         if args.profile and ctx.engine_obs is not None:
             print(_render_profile(ctx.engine_obs))
+        if args.flightrec_dump:
+            path = _dump_flightrec(ctx, args.flightrec_dump, args.command,
+                                   "manual.dump")
+            print(f"[incident bundle: {path}]")
     return 0
+
+
+def _dump_flightrec(ctx, out_dir: str, command: str, fallback_kind: str,
+                    **detail) -> str:
+    """Freeze the armed black box into an incident bundle at ``out_dir``.
+
+    A trigger the run already recorded (enclave crash, audit violation)
+    wins; otherwise one is synthesized at the recorder's last-known
+    virtual time so the bundle stays deterministic.
+    """
+    from repro.obs import flightrec as flightrec_mod
+
+    recorder = ctx.flightrec
+    trigger = recorder.last_trigger
+    if trigger is None:
+        now = recorder.engine.now if recorder.engine is not None else 0
+        trigger = recorder.trigger(fallback_kind, now, **detail)
+    return flightrec_mod.write_bundle(
+        out_dir, trigger, recorder=recorder, config={"command": command}
+    )
 
 
 class _null_obs:

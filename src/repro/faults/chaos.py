@@ -18,10 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.bench.configs import build_cokernel_system
 from repro.faults.inject import arm
 from repro.faults.plan import FaultPlan
 from repro.hw.costs import PAGE_4K
+from repro.obs import flightrec as flightrec_mod
 from repro.xemem import XememError, XememTimeout, XpmemApi
 
 #: The default plan: lossy channels, lossy IPIs, one mid-run crash, one
@@ -33,6 +35,10 @@ DEFAULT_PLAN_SPEC = (
 
 #: Pages per exported chaos segment.
 SEGMENT_PAGES = 16
+
+#: Span ring cap for the chaos black box: enough tail to reconstruct the
+#: faulting window, bounded so the recorder stays cheap.
+FLIGHTREC_TRACE_CAP = 512
 
 
 @dataclass
@@ -52,10 +58,25 @@ class ChaosReport:
     fault_counts: dict = field(default_factory=dict)
     ns_live_segments: int = 0
     surviving_enclaves: list = field(default_factory=list)
+    crashes: int = 0
+    #: Segids the name server still lists under a *crashed* owner after
+    #: the run drained — crash state the reclamation paths never cleaned.
+    unreclaimed_segids: list = field(default_factory=list)
+    #: Incident bundle emitted by the run's flight recorder ("" = none).
+    bundle_path: str = ""
 
     @property
     def ops_total(self) -> int:
         return self.ops_ok + self.ops_timeout + self.ops_error
+
+    @property
+    def reclaimed(self) -> bool:
+        """True when the run left no unreclaimed crash state behind."""
+        return (
+            not self.unreclaimed_segids
+            and self.drained
+            and self.live_processes == 0
+        )
 
     def lines(self) -> list:
         """Human-readable summary (virtual-clock facts only)."""
@@ -73,21 +94,51 @@ class ChaosReport:
             f"  name server: {self.ns_live_segments} live segment(s)",
             f"  survivors: {', '.join(self.surviving_enclaves)}",
         ]
+        if not self.reclaimed:
+            leftovers = ", ".join(str(s) for s in self.unreclaimed_segids)
+            out.append(
+                "  UNRECLAIMED crash state: "
+                f"segids [{leftovers}] still registered to dead owner(s)"
+                if self.unreclaimed_segids
+                else "  UNRECLAIMED crash state: run did not quiesce"
+            )
+        if self.bundle_path:
+            out.append(f"  incident bundle: {self.bundle_path}")
         return out
 
 
 def run_chaos(seed: int = 0, plan_spec: Optional[str] = None,
               cokernels: int = 3, ops: int = 25,
-              with_audit: Optional[bool] = None) -> ChaosReport:
+              with_audit: Optional[bool] = None,
+              flightrec_dir: Optional[str] = None) -> ChaosReport:
     """Run the chaos scenario; returns a :class:`ChaosReport`.
 
     ``ops`` is the number of full get/attach/detach/release rounds each
     Linux-side client runs against its co-kernel's segment.
+
+    Every chaos run flies with the black box armed: a ring-capped span
+    tail, a metrics registry, and a :class:`~repro.obs.flightrec.
+    FlightRecorder` fed by the fault injector and the crash paths. With
+    ``flightrec_dir`` set, a run that crashed an enclave (or ended with
+    unreclaimed crash state) freezes the box into an incident bundle
+    there — byte-identical for the same (seed, plan) in every
+    fastpath/fidelity mode.
     """
     spec = DEFAULT_PLAN_SPEC if plan_spec is None else plan_spec
     plan = FaultPlan.parse(spec, seed=seed)
-    rig = build_cokernel_system(num_cokernels=cokernels, with_audit=with_audit)
     report = ChaosReport(seed=seed, plan_spec=spec)
+    with obs.observing(trace=True, metrics=True,
+                       max_trace_events=FLIGHTREC_TRACE_CAP,
+                       flightrec=True) as ctx:
+        _run_scenario(report, plan, cokernels, ops, with_audit,
+                      ctx, flightrec_dir)
+    return report
+
+
+def _run_scenario(report: ChaosReport, plan: FaultPlan, cokernels: int,
+                  ops: int, with_audit: Optional[bool], ctx,
+                  flightrec_dir: Optional[str]) -> None:
+    rig = build_cokernel_system(num_cokernels=cokernels, with_audit=with_audit)
 
     eng = rig.engine
     linux_kernel = rig.linux.kernel
@@ -167,17 +218,65 @@ def run_chaos(seed: int = 0, plan_spec: Optional[str] = None,
             yield eng.all_of(clients)
 
     injector = arm(rig, plan)
-    eng.run_process(scenario(), name="chaos")
-    eng.run()  # drain stragglers (retransmit timers, heartbeat daemons)
+    recorder = ctx.flightrec
+    try:
+        eng.run_process(scenario(), name="chaos")
+        eng.run()  # drain stragglers (retransmit timers, heartbeat daemons)
+    finally:
+        # Fill the report (and dump the black box) even when the run dies
+        # on an AuditViolation — that is precisely when the bundle matters.
+        report.end_ns = eng.now
+        report.drained = eng.queue_len == 0
+        report.live_processes = len(eng.live_processes)
+        report.ops_ok = counts["ok"]
+        report.ops_timeout = counts["timeout"]
+        report.ops_error = counts["error"]
+        report.fault_counts = dict(injector.counts)
+        report.crashes = injector.counts.get("crashes", 0)
+        ns = rig.system.name_server_enclave.module.nameserver
+        report.ns_live_segments = ns.live_segments
+        report.surviving_enclaves = [e.name for e in rig.system.enclaves]
+        crashed_ids = {
+            int(e.enclave_id) for e in rig.cokernels
+            if e.module is not None and e.module.crashed
+            and e.enclave_id is not None
+        }
+        report.unreclaimed_segids = sorted(
+            int(sid) for sid, rec in ns.segids.items()
+            if rec.owner_enclave_id in crashed_ids
+        )
+        if flightrec_dir is not None and (
+            report.crashes or not report.reclaimed
+            or recorder.last_trigger is not None
+        ):
+            report.bundle_path = _dump_bundle(
+                flightrec_dir, report, recorder, eng
+            )
 
-    report.end_ns = eng.now
-    report.drained = eng.queue_len == 0
-    report.live_processes = len(eng.live_processes)
-    report.ops_ok = counts["ok"]
-    report.ops_timeout = counts["timeout"]
-    report.ops_error = counts["error"]
-    report.fault_counts = dict(injector.counts)
-    ns = rig.system.name_server_enclave.module.nameserver
-    report.ns_live_segments = ns.live_segments
-    report.surviving_enclaves = [e.name for e in rig.system.enclaves]
-    return report
+
+def _dump_bundle(out_dir: str, report: ChaosReport, recorder,
+                 engine) -> str:
+    """Freeze the run's black box into ``out_dir``; returns the path."""
+    if not report.reclaimed:
+        recorder.note(
+            "chaos.unreclaimed", engine.now,
+            segids=list(report.unreclaimed_segids),
+            drained=report.drained,
+            live_processes=report.live_processes,
+        )
+    trigger = recorder.last_trigger
+    if trigger is None:
+        kind = "chaos.unreclaimed" if not report.reclaimed else "chaos.end"
+        trigger = recorder.trigger(
+            kind, engine.now, crashes=report.crashes,
+            unreclaimed=len(report.unreclaimed_segids),
+        )
+    return flightrec_mod.write_bundle(
+        out_dir, trigger, recorder=recorder,
+        config={
+            "command": "chaos",
+            "seed": report.seed,
+            "plan": report.plan_spec,
+            "ops_completed": report.ops_total,
+        },
+    )

@@ -39,6 +39,11 @@ class FaultInjector:
         #: True when the plan can actually do something; the protocol
         #: layer only arms request deadlines while this is set.
         self.active = not plan.empty
+        #: The ambient flight recorder, captured at arm time (None when
+        #: no black box is armed). Fault draws are exactly the events a
+        #: post-mortem needs, so the injector is a natural feed point —
+        #: and it already sits off the per-event hot path.
+        self.flightrec = obs.get().flightrec
         #: Plain-int fault accounting (deterministic, always on).
         self.counts = {
             "msgs_dropped": 0,
@@ -69,27 +74,40 @@ class FaultInjector:
         edge = plan.drop_prob
         if u < edge:
             self.counts["msgs_dropped"] += 1
+            self._breadcrumb("fault.msg.drop")
             return "drop", 0
         edge += plan.dup_prob
         if u < edge:
             self.counts["msgs_duplicated"] += 1
+            self._breadcrumb("fault.msg.dup")
             return "dup", 0
         edge += plan.delay_prob
         if u < edge:
             self.counts["msgs_delayed"] += 1
+            self._breadcrumb("fault.msg.delay", delay_ns=plan.delay_ns)
             return "delay", plan.delay_ns
         edge += plan.corrupt_prob
         if u < edge:
             self.counts["msgs_corrupted"] += 1
+            self._breadcrumb("fault.msg.corrupt")
             return "corrupt", 0
+        if self.flightrec is not None:
+            self.flightrec.tick(self.engine.now)
         return "deliver", 0
 
     def ipi_lost(self) -> bool:
         """One draw per (re)transmission attempt."""
         if self.rng.random() < self.plan.ipi_loss_prob:
             self.counts["ipi_lost"] += 1
+            self._breadcrumb("fault.ipi.lost")
             return True
         return False
+
+    def _breadcrumb(self, kind: str, **detail) -> None:
+        """Note a fired fault into the black box (and snapshot on cadence)."""
+        if self.flightrec is not None:
+            self.flightrec.note(kind, self.engine.now, **detail)
+            self.flightrec.tick(self.engine.now)
 
     # -- scheduled events ---------------------------------------------------
 
@@ -102,6 +120,8 @@ class FaultInjector:
             )
 
     def _fire(self, event: FaultEvent) -> None:
+        self._breadcrumb("fault.event", action=event.action,
+                         target=event.target or "")
         if event.action == CRASH:
             enclave = self._enclave_by_name(event.target)
             if enclave is None or self.pisces is None:
@@ -200,6 +220,8 @@ def arm(rig, plan: FaultPlan) -> FaultInjector:
         pisces=getattr(rig, "pisces", None),
     )
     engine.faults = injector
+    if injector.flightrec is not None:
+        injector.flightrec.attach(engine=engine, injector=injector)
     if injector.active:
         injector._schedule_events()
         injector._start_heartbeats()

@@ -24,7 +24,11 @@ On top of those sit the analysis layers:
 * :mod:`repro.obs.slo` — declarative latency/error objectives evaluated
   deterministically against the time-series, with journey context;
 * :mod:`repro.obs.export` — Prometheus text, folded-stack flamegraphs,
-  and the self-contained HTML dashboard (``python -m repro serve-report``).
+  and the self-contained HTML dashboard (``python -m repro serve-report``);
+* :mod:`repro.obs.flightrec` — the always-on flight recorder and
+  byte-deterministic incident bundles (``python -m repro diagnose``);
+* :mod:`repro.obs.diff` — differential regression attribution between
+  two captures or bundles (``python -m repro perf-diff``).
 
 Usage from instrumentation sites::
 
@@ -43,10 +47,11 @@ Usage from drivers (the CLI does exactly this)::
     print(ctx.metrics.to_json())
 """
 
-from repro.obs import analysis, audit, export, slo, timeseries
+from repro.obs import analysis, audit, diff, export, flightrec, slo, timeseries
 from repro.obs.audit import Auditor, AuditViolation
 from repro.obs.context import ObsContext, get, install, observing, reset
 from repro.obs.engine_hooks import EngineObserver
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.slo import SloReport, SloSpec, SloViolation
 from repro.obs.timeseries import TimeSeriesHook, TimeSeriesRecorder
@@ -57,6 +62,7 @@ __all__ = [
     "Auditor",
     "Counter",
     "EngineObserver",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -71,7 +77,9 @@ __all__ = [
     "Tracer",
     "analysis",
     "audit",
+    "diff",
     "export",
+    "flightrec",
     "get",
     "install",
     "observing",

@@ -459,9 +459,27 @@ class AuditHook:
             self._next_deadline = (
                 engine.now - engine.now % self.interval_ns + self.interval_ns
             )
-            self.auditor.audit_now(now_ns=engine.now)
+            self._audit(engine)
         if engine.queue_len == 0:
-            self.auditor.audit_now(now_ns=engine.now, quiescent=True)
+            self._audit(engine, quiescent=True)
+
+    def _audit(self, engine, quiescent: bool = False) -> None:
+        """One audit pass; a violation triggers the ambient flight
+        recorder (black-box evidence survives the raise) before it
+        propagates."""
+        from repro.obs import context as _obs_context
+
+        try:
+            self.auditor.audit_now(now_ns=engine.now, quiescent=quiescent)
+        except AuditViolation as exc:
+            recorder = _obs_context.get().flightrec
+            if recorder is not None:
+                recorder.trigger(
+                    "audit.violation", engine.now,
+                    invariant=exc.invariant, detail=exc.detail,
+                    quiescent=quiescent,
+                )
+            raise
 
     def on_spawn(self, engine, proc) -> None:
         if self.inner is not None:

@@ -16,13 +16,20 @@ CLI (wired into ``make bench-compare`` and the CI gate)::
 
     python -m repro.obs.bench baseline.json current.json [--tolerance 0.15]
 
-Exit status 1 on any regression beyond tolerance (default 15%).
+Exit status 1 on any regression beyond tolerance (default 15%). When
+the gate fails and both sides have a trace capture — either passed
+explicitly (``--trace-baseline``/``--trace-current``) or found by the
+sibling convention ``BENCH_x.json`` → ``BENCH_x.trace.json`` — the
+:mod:`repro.obs.diff` attribution table is printed automatically, so a
+red gate arrives already annotated with *which subsystem and span names*
+moved.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -171,6 +178,30 @@ def render(comparison: Comparison, tolerance: float) -> str:
     return "\n".join(parts)
 
 
+def _sibling_trace(result_path: str) -> Optional[str]:
+    """``BENCH_x.json`` → ``BENCH_x.trace.json`` when that file exists."""
+    root, ext = os.path.splitext(result_path)
+    if ext != ".json" or root.endswith(".trace"):
+        return None
+    candidate = root + ".trace.json"
+    return candidate if os.path.exists(candidate) else None
+
+
+def attribution_text(baseline_trace: str, current_trace: str,
+                     top: int = 10) -> str:
+    """The perf-diff table for a failed gate (never raises on bad input)."""
+    from repro.obs import diff as diff_mod
+
+    try:
+        result = diff_mod.diff_files(baseline_trace, current_trace)
+    except (OSError, ValueError, KeyError, TypeError,
+            json.JSONDecodeError) as exc:
+        return (f"(perf-diff skipped: cannot attribute "
+                f"{baseline_trace} vs {current_trace}: {exc})")
+    return (f"attribution ({baseline_trace} -> {current_trace}):\n"
+            + diff_mod.render_diff(result, top=top))
+
+
 def main(argv=None) -> int:
     """CLI entry point; exit 1 on regression/mismatch."""
     parser = argparse.ArgumentParser(
@@ -181,6 +212,12 @@ def main(argv=None) -> int:
     parser.add_argument("current", help="freshly produced JSON")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed relative change (default 0.15 = 15%%)")
+    parser.add_argument("--trace-baseline", metavar="PATH",
+                        help="baseline trace capture for failure attribution "
+                             "(default: sibling <baseline>.trace.json)")
+    parser.add_argument("--trace-current", metavar="PATH",
+                        help="current trace capture for failure attribution "
+                             "(default: sibling <current>.trace.json)")
     args = parser.parse_args(argv)
     try:
         comparison = compare_files(args.baseline, args.current,
@@ -191,6 +228,12 @@ def main(argv=None) -> int:
     except json.JSONDecodeError as exc:
         raise SystemExit(f"bench-compare: invalid JSON ({exc})")
     print(render(comparison, args.tolerance))
+    if not comparison.ok:
+        trace_base = args.trace_baseline or _sibling_trace(args.baseline)
+        trace_cur = args.trace_current or _sibling_trace(args.current)
+        if trace_base and trace_cur:
+            print()
+            print(attribution_text(trace_base, trace_cur))
     return 0 if comparison.ok else 1
 
 

@@ -24,6 +24,7 @@ import contextlib
 from typing import Iterator, Optional
 
 from repro.obs.engine_hooks import EngineObserver
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
 from repro.obs.timeseries import (
     DEFAULT_MAX_WINDOWS,
@@ -48,11 +49,17 @@ class ObsContext:
     def __init__(self, tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  engine_obs: Optional[EngineObserver] = None,
-                 timeseries: Optional[TimeSeriesRecorder] = None):
+                 timeseries: Optional[TimeSeriesRecorder] = None,
+                 flightrec: Optional[FlightRecorder] = None):
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
         self.engine_obs = engine_obs
         self.timeseries = timeseries
+        #: Optional always-on black box (see :mod:`repro.obs.flightrec`).
+        #: Deliberately *not* part of :attr:`enabled`: an armed recorder
+        #: installs no engine hook and records nothing until a hook site
+        #: feeds it, so it never perturbs the zero-cost contract.
+        self.flightrec = flightrec
 
     @property
     def enabled(self) -> bool:
@@ -82,9 +89,16 @@ class ObsContext:
         return self.metrics.histogram(name, bounds)
 
     def snapshot(self) -> dict:
-        """Metrics snapshot, with the engine observer's stats folded in."""
+        """Metrics snapshot, with the engine observer's stats folded in.
+
+        Span-ring evictions surface here as the ``obs.spans.dropped``
+        gauge (only once drops actually happened, so clean runs export
+        byte-identical snapshots with or without a ring cap).
+        """
         if self.engine_obs is not None and self.metrics.enabled:
             self.engine_obs.publish(self.metrics)
+        if self.metrics.enabled and self.tracer.enabled and self.tracer.dropped:
+            self.metrics.gauge("obs.spans.dropped").set(self.tracer.dropped)
         return self.metrics.snapshot()
 
 
@@ -118,7 +132,8 @@ def observing(trace: bool = True, metrics: bool = True,
               max_trace_events: Optional[int] = None,
               timeseries: bool = False,
               window_ns: int = DEFAULT_WINDOW_NS,
-              max_windows: Optional[int] = DEFAULT_MAX_WINDOWS) -> Iterator[ObsContext]:
+              max_windows: Optional[int] = DEFAULT_MAX_WINDOWS,
+              flightrec: bool = False) -> Iterator[ObsContext]:
     """Scoped enablement: install an enabled context, restore on exit.
 
     The context object stays usable after exit (for export); only the
@@ -131,6 +146,12 @@ def observing(trace: bool = True, metrics: bool = True,
     the scope pick it up automatically. Call
     ``ctx.timeseries.finish(end_ns)`` after the run to flush the final
     partial window.
+
+    ``flightrec=True`` arms a :class:`~repro.obs.flightrec.
+    FlightRecorder` black box on the context; engines built inside the
+    scope attach themselves to it, and fault/audit/SLO hook sites feed
+    it. It installs no engine hook, so arming it costs nothing per
+    event.
     """
     if timeseries and not metrics:
         raise ValueError("observing(timeseries=True) requires metrics=True")
@@ -149,6 +170,7 @@ def observing(trace: bool = True, metrics: bool = True,
         metrics=registry,
         engine_obs=engine_obs,
         timeseries=recorder,
+        flightrec=FlightRecorder() if flightrec else None,
     )
     previous = install(ctx)
     try:

@@ -11,7 +11,9 @@ every exporter:
 * ``flamegraph.folded`` — folded stacks for ``flamegraph.pl``/speedscope;
 * ``metrics.prom`` — Prometheus text exposition;
 * ``timeseries.json`` / ``slo.json`` / ``journeys.json`` — the raw
-  window stream, verdicts, and per-request journeys.
+  window stream, verdicts, and per-request journeys;
+* ``incident-slo/`` — a :mod:`repro.obs.flightrec` bundle, written only
+  when an objective was violated (the earliest breach is the trigger).
 
 Everything runs on the virtual clock: two invocations with the same
 arguments produce byte-identical files, and toggling the simulation
@@ -29,6 +31,7 @@ from typing import List, Optional
 
 from repro import obs
 from repro.obs import analysis
+from repro.obs import flightrec as flightrec_mod
 from repro.obs.export import (
     dashboard_html,
     folded_stacks,
@@ -109,7 +112,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # The scope installs the hooks before the rig (and its engine) is
     # built inside run_sessions, so every event flows through them.
     with obs.observing(trace=True, metrics=True, timeseries=True,
-                       window_ns=args.window_ns) as ctx:
+                       window_ns=args.window_ns, flightrec=True) as ctx:
         report = run_sessions(cfg)
         ctx.timeseries.finish(report.end_ns)
 
@@ -117,6 +120,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     all_journeys = analysis.journeys(trace)
     slo_report = evaluate(specs, ctx.timeseries,
                           journeys=all_journeys, trace=trace)
+    if not slo_report.ok:
+        # Feed the verdicts into the black box: each breached window is a
+        # note, the earliest breach becomes the incident trigger.
+        recorder = ctx.flightrec
+        for v in slo_report.violations:
+            recorder.note("slo.violation", v.time_ns, slo=v.slo,
+                          detail=v.detail)
+        first = slo_report.violations[0]
+        recorder.trigger("slo.violation", first.time_ns, slo=first.slo,
+                         detail=first.detail)
     top_journeys = sorted(
         all_journeys, key=lambda j: (-j.duration_ns, j.req_id)
     )[:args.journeys]
@@ -176,6 +189,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             path = os.path.join(args.out_dir, name)
             write_text(path, text)
             print(f"[{name}: {len(text)} bytes -> {path}]")
+        if not slo_report.ok:
+            bundle_path = flightrec_mod.write_bundle(
+                os.path.join(args.out_dir, "incident-slo"),
+                ctx.flightrec.last_trigger,
+                recorder=ctx.flightrec,
+                config={
+                    "command": "serve-report",
+                    "seed": cfg.seed,
+                    "slos": [s.raw for s in specs],
+                },
+            )
+            print(f"[incident bundle: {bundle_path}]")
 
     if args.fail_on_violation and not slo_report.ok:
         return 4

@@ -193,6 +193,19 @@ class PiscesManager:
                 if rec.owner_enclave_id == crashed_id
             }
 
+        from repro.obs import context as _obs_context
+
+        recorder = _obs_context.get().flightrec
+        if recorder is not None:
+            # The crash is the canonical incident trigger: freeze "what
+            # was in flight" into the black box before teardown erases it.
+            recorder.trigger(
+                "enclave.crash", self.engine.now,
+                enclave=enclave.name,
+                enclave_id=int(crashed_id) if crashed_id is not None else -1,
+                segids_owned=len(dead_segids),
+            )
+
         if module is not None:
             module.crash()
         if system is not None:

@@ -215,14 +215,20 @@ class Engine:
         self._queue: list = []
         self._seq = 0
         self._processes: list = []  # live (unfinished) processes, for diagnostics
+        from repro.obs import context as _obs_context
+
+        ctx = _obs_context.get()
         if obs is None:
             # Pick up the ambient observability context's engine observer
             # (None unless the caller enabled engine instrumentation).
-            from repro.obs import context as _obs_context
-
-            obs = _obs_context.get().engine_obs
+            obs = ctx.engine_obs
         #: Optional instrumentation sink (see repro.obs.engine_hooks).
         self.obs = obs
+        if ctx.flightrec is not None:
+            # An armed flight recorder summarizes the most recent engine
+            # on a dump; attaching here costs one check per construction,
+            # never per event.
+            ctx.flightrec.attach(engine=self)
         #: Optional fault injector (see repro.faults). None = no plan armed;
         #: every hook site is a single attribute load + None check.
         self.faults = None
@@ -378,3 +384,21 @@ class Engine:
     def live_processes(self) -> tuple:
         """The processes spawned on this engine that have not finished."""
         return tuple(self._processes)
+
+    def state_summary(self) -> dict:
+        """Deterministic loop-state digest for incident bundles.
+
+        Virtual clock, queue depth, and the (sorted) names of unfinished
+        processes — enough to see *what was still running* when a flight
+        recorder froze the run, without holding object references.
+        """
+        current = self.current_process
+        return {
+            "now_ns": self.now,
+            "queue_len": len(self._queue),
+            "live_processes": sorted(p.name for p in self._processes),
+            "current_process": None if current is None else current.name,
+            "faults_armed": bool(
+                self.faults is not None and self.faults.active
+            ),
+        }

@@ -99,9 +99,16 @@ class TraceRecorder:
         self._buf.append(TraceEvent(time_ns, kind, detail))
         from repro.obs import context as _obs_context
 
-        tracer = _obs_context.get().tracer
-        if tracer.enabled:
-            tracer.instant(kind, time_ns, track=self.track, **detail)
+        ctx = _obs_context.get()
+        if ctx.tracer.enabled:
+            ctx.tracer.instant(kind, time_ns, track=self.track, **detail)
+        if self._buf.dropped and ctx.metrics.enabled:
+            # Ring-cap evictions as a gauge (set only once drops start,
+            # so capless runs export byte-identical snapshots) — this is
+            # what makes truncation visible on serve-report dashboards
+            # and in the Prometheus exposition instead of only via
+            # ``inspect``.
+            ctx.metrics.gauge("trace.recorder.dropped").set(self._buf.dropped)
 
     @property
     def events(self) -> List[TraceEvent]:

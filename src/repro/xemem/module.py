@@ -1165,6 +1165,14 @@ class XememModule:
         if self.crashed:
             return
         self.crashed = True
+        recorder = obs.get().flightrec
+        if recorder is not None:
+            recorder.note(
+                "xemem.module.crashed", self.engine.now,
+                enclave=self.enclave.name,
+                segments=len(self.segments),
+                live_attachments=len(self._live_attachments),
+            )
         err = XememError(f"enclave {self.enclave.name!r} crashed")
         for cell in self._signal_state.values():
             waiters, cell[1] = cell[1], []

@@ -46,17 +46,54 @@ def test_report_lines_render():
     assert "survivors:" in text
 
 
-def test_chaos_cli():
+def _run_chaos_cli(tmp_path, *extra):
     env = dict(os.environ)
     env["PYTHONPATH"] = "src"
-    out = subprocess.run(
+    return subprocess.run(
         [sys.executable, "-m", "repro", "chaos",
-         "--seed", str(SEED), "--cokernels", "2", "--ops", "3"],
+         "--seed", str(SEED), "--cokernels", "2", "--ops", "3",
+         "--bundle-dir", str(tmp_path / "bundle"), *extra],
         capture_output=True, text=True, env=env,
         cwd=os.path.dirname(os.path.dirname(
             os.path.dirname(os.path.abspath(__file__)))),
         timeout=240,
     )
+
+
+def test_chaos_cli(tmp_path):
+    out = _run_chaos_cli(tmp_path)
     assert out.returncode == 0, out.stderr
     assert f"chaos seed={SEED}" in out.stdout
     assert "drained=True" in out.stdout
+    # the default plan crashes kitten1, so the run emits its black box
+    assert "incident bundle:" in out.stdout
+    assert (tmp_path / "bundle" / "MANIFEST.json").exists()
+
+
+def test_chaos_cli_exits_2_on_unreclaimed_state(tmp_path):
+    """Heartbeat-based detection with a lease that outlives the horizon:
+    the dead owner's segids are never collected, so the CLI must flag
+    the run (exit 2) and point at the incident bundle."""
+    out = _run_chaos_cli(
+        tmp_path, "--plan",
+        "crash=kitten1@1ms,hb=200us,lease=20ms,horizon=2ms,"
+        "timeout=300us,retries=2",
+    )
+    assert out.returncode == 2, out.stderr
+    assert "UNRECLAIMED crash state" in out.stdout
+    assert "incident bundle:" in out.stdout
+    assert (tmp_path / "bundle" / "MANIFEST.json").exists()
+
+
+def test_unreclaimed_detection_in_report():
+    report = run_chaos(
+        seed=SEED, cokernels=2, ops=3,
+        plan_spec="crash=kitten1@1ms,hb=200us,lease=20ms,horizon=2ms,"
+                  "timeout=300us,retries=2",
+    )
+    assert not report.reclaimed
+    assert report.unreclaimed_segids
+    assert any("UNRECLAIMED" in line for line in report.lines())
+    # the default plan's direct notification path stays clean
+    clean = run_chaos(seed=SEED, cokernels=2, ops=3)
+    assert clean.reclaimed and not clean.unreclaimed_segids

@@ -1,0 +1,131 @@
+"""Differential regression attribution (``repro.obs.diff``).
+
+Identical twins must diff to zero (that is the repo's differential
+contract restated as a perf tool); a synthetic regression with a known
+cause must be attributed to the right subsystem and span name with full
+coverage; and the acceptance pair — Fig. 5 captured under fast vs
+detailed fidelity — must attribute at least 95% of whatever end-to-end
+delta exists (here: exactly zero, which counts as fully attributed).
+"""
+
+import json
+
+from repro import obs
+from repro.obs import diff
+from repro.obs.tracer import Tracer
+from repro.sim import fidelity
+
+
+class _Clock:
+    """A stand-in engine: just a settable virtual ``now``."""
+
+    def __init__(self):
+        self.now = 0  # repro: noqa[REP006] reason=synthetic span-clock stub for capture fixtures; no simulation runs on it
+
+
+def _write_capture(path, pagetable_end_ns):
+    """One ``xemem.attach`` root with one pagetable child; the child ends
+    at ``pagetable_end_ns`` and the root 70 µs later."""
+    clk = _Clock()
+    tracer = Tracer(enabled=True)
+    with tracer.span("xemem.attach", clk):
+        clk.now = 10_000  # repro: noqa[REP006] reason=synthetic span-clock stub for capture fixtures; no simulation runs on it
+        with tracer.span("kernel.pagetable.walk", clk):
+            clk.now = pagetable_end_ns  # repro: noqa[REP006] reason=synthetic span-clock stub for capture fixtures; no simulation runs on it
+        clk.now = pagetable_end_ns + 70_000  # repro: noqa[REP006] reason=synthetic span-clock stub for capture fixtures; no simulation runs on it
+    with open(path, "w") as fp:
+        tracer.to_jsonl(fp)
+
+
+def test_identical_twins_diff_to_zero(tmp_path):
+    a = str(tmp_path / "a.trace.json")
+    b = str(tmp_path / "b.trace.json")
+    _write_capture(a, 30_000)
+    _write_capture(b, 30_000)
+    result = diff.diff_files(a, b)
+    assert result.total_delta_ns == 0
+    assert result.attributed_delta_ns == 0
+    assert result.coverage == 1.0
+    assert "IDENTICAL" in diff.render_diff(result)
+
+
+def test_synthetic_regression_attributed_to_cause(tmp_path):
+    base = str(tmp_path / "base.trace.json")
+    cur = str(tmp_path / "cur.trace.json")
+    _write_capture(base, 30_000)   # pagetable 20 µs, root 100 µs
+    _write_capture(cur, 60_000)    # pagetable 50 µs, root 130 µs
+    result = diff.diff_files(base, cur)
+    assert result.total_delta_ns == 30_000
+    by = {r.key: r.delta_ns for r in result.by_subsystem}
+    assert by["pagetable"] == 30_000
+    assert by.get("xemem", 0) == 0   # root exclusive time is unchanged
+    assert result.coverage == 1.0
+    # the top span-name mover is the actual culprit
+    assert result.by_name[0].key == "kernel.pagetable.walk"
+    text = diff.render_diff(result)
+    assert "pagetable" in text and "+30.0us" in text
+    assert "attributed 100.0%" in text
+
+
+def test_fig5_fast_vs_detailed_coverage(tmp_path):
+    """Acceptance pair: Fig. 5 under fast vs detailed fidelity. The twin
+    contract makes the delta exactly zero; either way the diff must
+    attribute >= 95% of it."""
+    from repro.bench import figures
+
+    paths = []
+    for name, ctx in (("fast", fidelity.configured("fast")),
+                      ("detailed", fidelity.detailed())):
+        path = str(tmp_path / f"fig5_{name}.trace.json")
+        with ctx, obs.observing(trace=True, metrics=False) as octx:
+            figures.fig5_throughput(reps=1)
+            octx.tracer.to_chrome(path)
+        paths.append(path)
+    result = diff.diff_files(*paths)
+    assert result.coverage >= 0.95
+    assert result.total_delta_ns == 0
+
+
+def test_cli_json_and_min_coverage(tmp_path, capsys):
+    base = str(tmp_path / "base.trace.json")
+    cur = str(tmp_path / "cur.trace.json")
+    _write_capture(base, 30_000)
+    _write_capture(cur, 60_000)
+    assert diff.main([base, cur, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["total_delta_ns"] == 30_000
+    assert doc["coverage"] == 1.0
+    # an unmeetable bar exercises the gate's failure path
+    assert diff.main([base, cur, "--min-coverage", "1.5"]) == 5
+    assert "FAIL: coverage" in capsys.readouterr().out
+
+
+def test_cli_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.trace.json"
+    bad.write_text("not a trace")
+    good = str(tmp_path / "good.trace.json")
+    _write_capture(good, 30_000)
+    try:
+        diff.main([str(bad), good])
+    except SystemExit as exc:
+        assert "perf-diff" in str(exc)
+    else:
+        raise AssertionError("expected SystemExit on a garbage capture")
+
+
+def test_bundle_captures_diff_including_counters(tmp_path):
+    """Incident bundles load as captures: the trace tail plus the final
+    counter values (so fault-count movement shows up in the diff)."""
+    from repro.faults.chaos import run_chaos
+
+    plan = ("drop=0.05,delay=0.05:20us,ipiloss=0.05,timeout=300us,"
+            "retries=5,crash=kitten1@2ms")
+    a = str(tmp_path / "a")
+    b = str(tmp_path / "b")
+    run_chaos(seed=3, plan_spec=plan, cokernels=2, ops=4, flightrec_dir=a)
+    run_chaos(seed=4, plan_spec=plan, cokernels=2, ops=4, flightrec_dir=b)
+    same = diff.diff_files(a, a)
+    assert same.total_delta_ns == 0 and not same.counter_deltas
+    assert same.baseline.counters   # bundle counters actually loaded
+    across = diff.diff_files(a, b)
+    assert diff.render_diff(across)  # renders without error either way
