@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test audit chaos lint lint-repro bench bench-compare serve-report figures examples clean diagnose perf-diff
+.PHONY: install test audit chaos soak lint lint-repro bench bench-compare serve-report figures examples clean diagnose perf-diff
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,21 @@ chaos:
 		REPRO_AUDIT=1 REPRO_CHAOS_SEED=$$seed \
 			$(PYTHON) -m pytest tests/faults -q || exit 1; \
 	done
+
+# The CI soak pair, locally: ramp open-loop load through saturation,
+# protected vs baseline, two seeds; exits 4 (with an incident bundle
+# under soak-out/) if the protected run breaches its SLOs. Seed 0 is
+# then gated against the committed baseline (p99 at the pre-saturation
+# step must not regress).
+soak:
+	for seed in 0 1; do \
+		PYTHONPATH=src $(PYTHON) -m repro soak --seed $$seed \
+			--out soak-out/BENCH_serving_seed$$seed.json \
+			--bundle-dir soak-out || exit $$?; \
+	done
+	PYTHONPATH=src $(PYTHON) -m repro.obs.bench \
+		benchmarks/baselines/BENCH_serving.json \
+		soak-out/BENCH_serving_seed0.json --tolerance 0.15
 
 # Both linters: ruff (style) and the project's determinism &
 # simulation-safety analyzer (docs/LINT.md). Both gate CI.

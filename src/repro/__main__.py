@@ -12,7 +12,9 @@ Usage::
     python -m repro ablations [--reps 3]
     python -m repro all
     python -m repro chaos [--seed N] [--plan SPEC] [--cokernels N] [--ops N]
-                          [--bundle-dir DIR]
+                          [--bundle-dir DIR] [--overload SPEC]
+    python -m repro soak [--seed N] [--rates R1,R2,...] [--plan SPEC]
+                         [--overload SPEC] [--out PATH] [--bundle-dir DIR]
     python -m repro inspect trace.json [--attribute]
     python -m repro report trace.json [--json]
     python -m repro diagnose <bundle-dir> [--window-ns N] [--json]
@@ -27,8 +29,9 @@ Usage::
 the closed-loop serving scenario under the full telemetry pipeline
 (time-series, SLOs, journeys, exporters) — see repro.obs.serve_cli.
 ``chaos`` exits 2 (and prints the incident-bundle path) when the run
-ends with unreclaimed crash state; ``diagnose`` renders a bundle as a
-causal timeline and ``perf-diff`` attributes the virtual-time delta
+ends with unreclaimed crash state; ``soak`` exits 4 on an SLO breach of
+the protected run (docs/OVERLOAD.md); ``diagnose`` renders a bundle as
+a causal timeline and ``perf-diff`` attributes the virtual-time delta
 between two captures — see docs/OBSERVABILITY.md.
 
 Each command builds the experiment from scratch, runs it on the virtual
@@ -337,7 +340,8 @@ def _chaos(args):
 
     report = run_chaos(seed=args.seed, plan_spec=args.plan,
                        cokernels=args.cokernels, ops=args.ops,
-                       flightrec_dir=args.bundle_dir)
+                       flightrec_dir=args.bundle_dir,
+                       overload_spec=args.overload)
     return "\n".join(report.lines()), 0 if report.reclaimed else 2
 
 
@@ -384,6 +388,13 @@ def main(argv=None) -> int:
         from repro.obs.serve_cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["soak"]:
+        # Overload soak: ramped open-loop load through saturation,
+        # protected vs baseline (docs/OVERLOAD.md). Exits 4 on an SLO
+        # breach, printing the incident-bundle path.
+        from repro.workloads.soak import main as soak_main
+
+        return soak_main(argv[1:])
     if argv[:1] == ["diagnose"]:
         # Incident-bundle renderer (docs/OBSERVABILITY.md).
         from repro.obs.flightrec import main as diagnose_main
@@ -421,6 +432,9 @@ def main(argv=None) -> int:
                         help="chaos: number of Kitten co-kernels")
     parser.add_argument("--ops", type=int, default=25,
                         help="chaos: attach/detach rounds per client")
+    parser.add_argument("--overload", metavar="SPEC",
+                        help="chaos: arm admission-control/backpressure "
+                             "overload protection (see docs/OVERLOAD.md)")
     parser.add_argument("--bundle-dir", metavar="DIR", default="incident-chaos",
                         help="chaos: where an incident bundle is written when "
                              "the run crashed an enclave or left unreclaimed "

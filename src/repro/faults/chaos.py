@@ -20,11 +20,13 @@ from typing import Optional
 
 from repro import obs
 from repro.bench.configs import build_cokernel_system
+from repro.faults import reporting
 from repro.faults.inject import arm
 from repro.faults.plan import FaultPlan
 from repro.hw.costs import PAGE_4K
 from repro.obs import flightrec as flightrec_mod
-from repro.xemem import XememError, XememTimeout, XpmemApi
+from repro.xemem import XememError, XememOverload, XememTimeout, XpmemApi
+from repro.xemem.overload import OverloadConfig, admission_totals, arm_overload
 
 #: The default plan: lossy channels, lossy IPIs, one mid-run crash, one
 #: name-server restart — with a retry budget that still converges.
@@ -48,14 +50,20 @@ class ChaosReport:
 
     seed: int
     plan_spec: str
+    #: overload-protection spec armed for the run ("" = unprotected)
+    overload_spec: str = ""
     end_ns: int = 0
     drained: bool = False
     live_processes: int = 0
     exported: int = 0
     ops_ok: int = 0
     ops_timeout: int = 0
+    #: ops refused by admission control / backpressure (overload armed)
+    ops_rejected: int = 0
     ops_error: int = 0
     fault_counts: dict = field(default_factory=dict)
+    #: summed admission-controller ledger (empty when not armed)
+    admission: dict = field(default_factory=dict)
     ns_live_segments: int = 0
     surviving_enclaves: list = field(default_factory=list)
     crashes: int = 0
@@ -67,7 +75,8 @@ class ChaosReport:
 
     @property
     def ops_total(self) -> int:
-        return self.ops_ok + self.ops_timeout + self.ops_error
+        return (self.ops_ok + self.ops_timeout + self.ops_rejected
+                + self.ops_error)
 
     @property
     def reclaimed(self) -> bool:
@@ -79,18 +88,28 @@ class ChaosReport:
         )
 
     def lines(self) -> list:
-        """Human-readable summary (virtual-clock facts only)."""
+        """Human-readable summary (virtual-clock facts only), rendered
+        through the shared :mod:`repro.faults.reporting` helpers so
+        chaos and soak reports stay comparable line-for-line."""
+        ops = {"ok": self.ops_ok, "timeout": self.ops_timeout,
+               "error": self.ops_error}
+        if self.overload_spec:
+            ops["rejected"] = self.ops_rejected
         out = [
             f"chaos seed={self.seed}",
             f"  plan: {self.plan_spec}",
+        ]
+        if self.overload_spec:
+            out.append(f"  overload: {self.overload_spec}")
+        out += [
             f"  end: {self.end_ns} ns  drained={self.drained} "
             f"live_processes={self.live_processes}",
             f"  exports: {self.exported}",
-            f"  ops: {self.ops_total} total = {self.ops_ok} ok + "
-            f"{self.ops_timeout} timeout + {self.ops_error} error",
-            f"  faults: " + ", ".join(
-                f"{k}={v}" for k, v in sorted(self.fault_counts.items()) if v
-            ),
+            reporting.ops_line(ops),
+        ]
+        out.extend(reporting.fault_lines(self.fault_counts))
+        out.extend(reporting.admission_lines(self.admission))
+        out += [
             f"  name server: {self.ns_live_segments} live segment(s)",
             f"  survivors: {', '.join(self.surviving_enclaves)}",
         ]
@@ -102,19 +121,23 @@ class ChaosReport:
                 if self.unreclaimed_segids
                 else "  UNRECLAIMED crash state: run did not quiesce"
             )
-        if self.bundle_path:
-            out.append(f"  incident bundle: {self.bundle_path}")
+        out.extend(reporting.bundle_line(self.bundle_path))
         return out
 
 
 def run_chaos(seed: int = 0, plan_spec: Optional[str] = None,
               cokernels: int = 3, ops: int = 25,
               with_audit: Optional[bool] = None,
-              flightrec_dir: Optional[str] = None) -> ChaosReport:
+              flightrec_dir: Optional[str] = None,
+              overload_spec: Optional[str] = None) -> ChaosReport:
     """Run the chaos scenario; returns a :class:`ChaosReport`.
 
     ``ops`` is the number of full get/attach/detach/release rounds each
     Linux-side client runs against its co-kernel's segment.
+    ``overload_spec`` additionally arms the admission/backpressure layer
+    of :mod:`repro.xemem.overload` on every module, so chaos faults and
+    overload protection soak together; rejected operations are counted
+    separately from errors and the admission ledger joins the report.
 
     Every chaos run flies with the black box armed: a ring-capped span
     tail, a metrics registry, and a :class:`~repro.obs.flightrec.
@@ -126,7 +149,8 @@ def run_chaos(seed: int = 0, plan_spec: Optional[str] = None,
     """
     spec = DEFAULT_PLAN_SPEC if plan_spec is None else plan_spec
     plan = FaultPlan.parse(spec, seed=seed)
-    report = ChaosReport(seed=seed, plan_spec=spec)
+    report = ChaosReport(seed=seed, plan_spec=spec,
+                         overload_spec=overload_spec or "")
     with obs.observing(trace=True, metrics=True,
                        max_trace_events=FLIGHTREC_TRACE_CAP,
                        flightrec=True) as ctx:
@@ -139,10 +163,14 @@ def _run_scenario(report: ChaosReport, plan: FaultPlan, cokernels: int,
                   ops: int, with_audit: Optional[bool], ctx,
                   flightrec_dir: Optional[str]) -> None:
     rig = build_cokernel_system(num_cokernels=cokernels, with_audit=with_audit)
+    protected = bool(report.overload_spec)
+    if protected:
+        arm_overload(rig, OverloadConfig.parse(report.overload_spec,
+                                               seed=report.seed))
 
     eng = rig.engine
     linux_kernel = rig.linux.kernel
-    counts = {"ok": 0, "timeout": 0, "error": 0}
+    counts = {"ok": 0, "timeout": 0, "rejected": 0, "error": 0}
 
     def client(api: XpmemApi, name: str):
         """One Linux client: the full Table 1 cycle, ``ops`` times.
@@ -158,6 +186,9 @@ def _run_scenario(report: ChaosReport, plan: FaultPlan, cokernels: int,
                     counts["error"] += 1
                     continue
                 apid = yield from api.xpmem_get(segid)
+            except XememOverload:
+                counts["rejected"] += 1
+                continue
             except XememTimeout:
                 counts["timeout"] += 1
                 continue
@@ -177,9 +208,12 @@ def _run_scenario(report: ChaosReport, plan: FaultPlan, cokernels: int,
                 counts["ok"] += 1
             except XememTimeout:
                 counts["timeout"] += 1
-            except XememError:
-                counts["error"] += 1
-                # best-effort rollback so the grant does not pin state
+            except XememError as err:
+                # rejection or error: roll back so the grant does not
+                # pin state (release-class always admits, so the
+                # rollback converges even under full overload)
+                counts["rejected" if isinstance(err, XememOverload)
+                       else "error"] += 1
                 try:
                     if att is not None and not att.detached:
                         yield from api.xpmem_detach(att)
@@ -230,8 +264,11 @@ def _run_scenario(report: ChaosReport, plan: FaultPlan, cokernels: int,
         report.live_processes = len(eng.live_processes)
         report.ops_ok = counts["ok"]
         report.ops_timeout = counts["timeout"]
+        report.ops_rejected = counts["rejected"]
         report.ops_error = counts["error"]
         report.fault_counts = dict(injector.counts)
+        if protected:
+            report.admission = admission_totals(rig)
         report.crashes = injector.counts.get("crashes", 0)
         ns = rig.system.name_server_enclave.module.nameserver
         report.ns_live_segments = ns.live_segments

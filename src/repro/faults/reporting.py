@@ -1,0 +1,82 @@
+"""Shared report rendering for the resilience CLIs.
+
+``python -m repro chaos`` and ``python -m repro soak`` both end in the
+same shape of story: an operation tally, fault-injection counts, and —
+when overload protection is armed — the admission/backpressure ledger
+and SLO verdicts. This module is the single renderer both use, so the
+two reports stay comparable line-for-line and a new overload counter
+shows up in both tools at once.
+
+Pure formatting: everything here takes plain dicts derived from sim
+state, returns lists of lines, and touches no simulator objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Admission-ledger keys rendered (in this order) when present.
+_ADMISSION_KEYS = (
+    "offered", "admitted", "rejected", "shed", "aborted",
+    "completed", "peak_waiting",
+)
+
+#: Degradation/backpressure keys rendered on the second ledger line.
+_PRESSURE_KEYS = (
+    "stale_hits", "gc_deferred", "budget_exhausted", "breaker_opens",
+    "level_transitions",
+)
+
+
+def ops_line(counts: Dict[str, int], label: str = "ops") -> str:
+    """``ops: N total = a ok + b timeout + ...`` from an outcome dict."""
+    total = sum(counts.values())
+    parts = " + ".join(
+        f"{counts[key]} {key}" for key in counts
+    )
+    return f"  {label}: {total} total = {parts}"
+
+
+def fault_lines(fault_counts: Dict[str, int]) -> List[str]:
+    """The non-zero injector counters, one compact line."""
+    shown = ", ".join(
+        f"{k}={v}" for k, v in sorted(fault_counts.items()) if v
+    )
+    return [f"  faults: {shown}"] if shown else []
+
+
+def admission_lines(totals: Optional[Dict[str, int]]) -> List[str]:
+    """The overload-protection ledger (empty when nothing was armed)."""
+    if not totals:
+        return []
+    main = ", ".join(
+        f"{key}={totals[key]}" for key in _ADMISSION_KEYS if key in totals
+    )
+    out = [f"  admission: {main}"]
+    pressure = ", ".join(
+        f"{key}={totals[key]}" for key in _PRESSURE_KEYS
+        if totals.get(key)
+    )
+    if pressure:
+        out.append(f"  degradation: {pressure}")
+    return out
+
+
+def slo_lines(verdicts: Dict[str, dict]) -> List[str]:
+    """SLO verdicts: one ``OK``/``VIOLATED`` line per objective.
+
+    Each verdict is ``{"ok": bool, "detail": str}``; the rendering
+    matches ``repro.obs.slo.SloReport.lines()`` closely enough that
+    serve-report and soak read the same way.
+    """
+    out = []
+    for name in sorted(verdicts):
+        verdict = verdicts[name]
+        status = "OK" if verdict["ok"] else "VIOLATED"
+        out.append(f"  {status}: {name} — {verdict['detail']}")
+    return out
+
+
+def bundle_line(bundle_path: str) -> List[str]:
+    """The incident-bundle pointer (serve-report's convention)."""
+    return [f"  incident bundle: {bundle_path}"] if bundle_path else []

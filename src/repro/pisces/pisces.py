@@ -188,10 +188,7 @@ class PiscesManager:
         if system is not None and system.name_server_enclave is not None:
             ns_module = system.name_server_enclave.module
         if ns_module is not None and crashed_id is not None:
-            dead_segids = {
-                sid for sid, rec in ns_module.nameserver.segids.items()
-                if rec.owner_enclave_id == crashed_id
-            }
+            dead_segids = set(ns_module.nameserver.segids_of(crashed_id))
 
         from repro.obs import context as _obs_context
 

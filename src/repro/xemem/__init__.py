@@ -20,19 +20,25 @@ Public surface:
 """
 
 from repro.xemem.ids import (
-    Permit, SegmentId, ApId, XememError, XememTimeout, PermissionError_,
+    Permit, SegmentId, ApId, XememError, XememOverload, XememTimeout,
+    PermissionError_,
 )
 from repro.xemem.nameserver import NameServer
 from repro.xemem.module import XememModule, install_xemem
 from repro.xemem.api import XpmemApi
 from repro.xemem.shmem import AttachedRegion, ExportedSegment
 from repro.xemem.routing import run_discovery
+from repro.xemem.overload import (
+    AdmissionController, CircuitBreaker, ModuleOverload, OverloadConfig,
+    RetryBudget, arm_overload, disarm_overload,
+)
 
 __all__ = [
     "Permit",
     "SegmentId",
     "ApId",
     "XememError",
+    "XememOverload",
     "XememTimeout",
     "PermissionError_",
     "NameServer",
@@ -42,4 +48,11 @@ __all__ = [
     "AttachedRegion",
     "ExportedSegment",
     "run_discovery",
+    "AdmissionController",
+    "CircuitBreaker",
+    "ModuleOverload",
+    "OverloadConfig",
+    "RetryBudget",
+    "arm_overload",
+    "disarm_overload",
 ]

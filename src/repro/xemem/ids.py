@@ -31,6 +31,26 @@ class XememTimeout(XememError):
     answered, so requests park on their response event without a timer."""
 
 
+class XememOverload(XememError):
+    """A request refused by overload protection.
+
+    Raised client-side when a server rejects/sheds under admission
+    control, when the local circuit breaker to that destination is open,
+    or when the per-module retry budget is exhausted. Carries the
+    server's seeded, deterministic retry-after hint so callers (and the
+    module's own retry loop) can back off without guessing.
+
+    Only raised while overload protection is armed
+    (:func:`repro.xemem.overload.arm_overload`); the unarmed module is
+    byte-identical to the pre-overload code."""
+
+    def __init__(self, message: str, retry_after_ns: int = 0,
+                 verdict: str = "reject"):
+        super().__init__(message)
+        self.retry_after_ns = retry_after_ns
+        self.verdict = verdict
+
+
 @dataclass(frozen=True)
 class SegmentId:
     """A globally unique segment identifier."""

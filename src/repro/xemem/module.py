@@ -39,9 +39,11 @@ from repro.xemem.ids import (
     PermissionError_,
     SegmentId,
     XememError,
+    XememOverload,
     XememTimeout,
 )
 from repro.xemem.nameserver import NameServer
+from repro.xemem import overload as OV
 from repro.xemem.routing import RoutingError, RoutingTable
 from repro.xemem.shmem import AttachedRegion, ExportedSegment, GrantTable, LiveCounts
 
@@ -93,6 +95,9 @@ class XememModule:
         self._in_service: set = set()
         #: name-server restart outage: drop NS traffic until this time
         self._ns_down_until = 0
+        # -- overload protection (default off; one attribute check on the
+        # hot path, same zero-cost contract as ``engine.faults``) --
+        self.overload: Optional["OV.ModuleOverload"] = None
         self.stats = {
             "attaches_served": 0,
             "attaches_made": 0,
@@ -194,6 +199,13 @@ class XememModule:
     def _check_response(resp: KernelMessage) -> KernelMessage:
         error = resp.payload.get("error")
         if error is not None:
+            verdict = resp.payload.get("overload")
+            if verdict is not None:
+                raise XememOverload(
+                    error,
+                    retry_after_ns=resp.payload.get("retry_after_ns", 0),
+                    verdict=verdict,
+                )
             if "permission denied" in error:
                 raise PermissionError_(error)
             raise XememError(error)
@@ -210,6 +222,9 @@ class XememModule:
         the req_id, so receivers can deduplicate replays.
         """
         req_id = msg.payload["req_id"]
+        if self.overload is not None:
+            result = yield from self._request_protected(msg, self.overload)
+            return result
         deadline_ns, max_retries, backoff = self._request_policy()
         if deadline_ns is None:
             # Fault-free baseline: park on the response event with no
@@ -244,6 +259,102 @@ class XememModule:
             deadline_ns *= backoff
         raise XememTimeout(
             f"{msg.kind} {req_id} unanswered after {max_retries + 1} attempt(s)"
+        )
+
+    def _request_protected(self, msg: KernelMessage, ov: "OV.ModuleOverload"):
+        """Generator: :meth:`_request` with backpressure honored.
+
+        Replaces unbounded exponential backoff with (a) a per-destination
+        circuit breaker that fails fast while the far side is *silent*
+        (consecutive timeouts — an overload rejection is a healthy, fast
+        answer and never trips it), (b) a per-module retry *budget*
+        charged to timeout-driven retries only, so unpaced storms cannot
+        amplify an overloaded server — retry-after retries are paced by
+        the server itself and ride free, and (c) seeded backoff jitter
+        and retry-after-hint waits drawn from the module's overload RNG
+        stream (never module-level ``random`` — REP002)."""
+        req_id = msg.payload["req_id"]
+        o = obs.get()
+        dst = msg.payload.get("dst")
+        dst_key = "ns" if dst is None else f"e{dst}"
+        breaker = ov.breaker_for(dst_key)
+        if not breaker.allow():
+            raise XememOverload(
+                f"{msg.kind} {req_id}: circuit open to {dst_key}",
+                retry_after_ns=breaker.retry_after_ns(),
+                verdict="breaker-open",
+            )
+        deadline_ns, max_retries, backoff = self._request_policy()
+        attempts = (max_retries if deadline_ns is not None
+                    else ov.cfg.max_client_retries)
+        last_overload: Optional[XememOverload] = None
+        for attempt in range(attempts + 1):
+            event = self.engine.event(name=f"req:{req_id}#{attempt}")
+            self._pending[req_id] = event
+            try:
+                yield from self._send(msg)
+            except (RoutingError, ChannelClosedError) as err:
+                if self._pending.get(req_id) is event:
+                    del self._pending[req_id]
+                raise XememError(
+                    f"cannot deliver {msg.kind} from {self.enclave.name!r}: {err}"
+                )
+            if deadline_ns is None:
+                # no fault plan: the server always answers — with a result
+                # or an overload rejection — so no timer is needed
+                resp: KernelMessage = yield event
+            else:
+                which, value = yield self.engine.any_of(
+                    [event, self.engine.sleep(deadline_ns)]
+                )
+                if which != 0:
+                    if self._pending.get(req_id) is event:
+                        del self._pending[req_id]
+                    o.counter("xemem.req.timeouts").inc()
+                    breaker.record_failure()
+                    if attempt < attempts:
+                        # the unpaced kind of retry: charge the budget
+                        if not ov.budget.try_spend():
+                            raise XememOverload(
+                                f"{msg.kind} {req_id}: retry budget exhausted",
+                                retry_after_ns=ov.cfg.retry_budget_window_ns,
+                                verdict="budget-exhausted",
+                            )
+                        o.counter("xemem.req.retries").inc()
+                        deadline_ns *= backoff
+                        jitter = ov.jitter_ns()
+                        if jitter:
+                            yield self.engine.sleep(jitter)
+                    continue
+                resp = value
+            try:
+                result = self._check_response(resp)
+            except XememOverload as err:
+                # a rejection is the far side answering promptly — proof
+                # of liveness, not breaker fodder; honor its pacing
+                breaker.record_success()
+                o.counter("xemem.req.backpressured").inc()
+                last_overload = err
+                if attempt < attempts:
+                    wait = err.retry_after_ns + ov.jitter_ns()
+                    if wait:
+                        yield self.engine.sleep(wait)
+                continue
+            except XememError:
+                # an application-level error is still a healthy answer
+                breaker.record_success()
+                raise
+            breaker.record_success()
+            return result
+        if last_overload is not None:
+            raise XememOverload(
+                f"{msg.kind} {req_id}: still overloaded after "
+                f"{attempts + 1} attempt(s)",
+                retry_after_ns=last_overload.retry_after_ns,
+                verdict=last_overload.verdict,
+            )
+        raise XememTimeout(
+            f"{msg.kind} {req_id} unanswered after {attempts + 1} attempt(s)"
         )
 
     # ----------------------------------------------------------------- discovery
@@ -456,7 +567,46 @@ class XememModule:
                 return
             event.trigger(msg)
             return
+        if self.overload is not None and kind not in C.ONE_WAY:
+            yield from self._serve_admitted(msg, self.overload)
+            return
         yield from self._serve(msg)
+
+    # -- overload admission (armed only) -----------------------------------
+
+    def _serve_admitted(self, msg: KernelMessage, ov: "OV.ModuleOverload"):
+        """Owner-side serving behind the bounded admission queue."""
+        try:
+            verdict = yield from ov.controller.admit(msg.kind)
+        except XememError:
+            # the module crashed/shut down while this request was queued
+            obs.get().counter("overload.aborted").inc()
+            return
+        if verdict != OV.SERVE:
+            self._reject_overloaded(msg, verdict, ov)
+            return
+        try:
+            yield from self._serve(msg)
+        finally:
+            ov.controller.release()
+
+    def _reject_overloaded(self, msg: KernelMessage, verdict: str,
+                           ov: "OV.ModuleOverload") -> None:
+        """Answer a refused request with a backpressure response.
+
+        Deliberately *not* routed through :meth:`_respond`: a rejection
+        must never enter the replay cache, or a retried request would be
+        told "overloaded" forever."""
+        obs.get().counter("xemem.msgs.overload_rejected").inc()
+        if msg.kind in C.ONE_WAY or msg.kind not in C.RESPONSE_KIND:
+            return
+        resp = C.make_response(
+            msg, self.my_id,
+            error=f"overloaded: {verdict} at enclave {self.enclave.name!r}",
+            overload=verdict,
+            retry_after_ns=ov.controller.retry_hint_ns(),
+        )
+        self._spawn_send(resp)
 
     # -- retried-request deduplication -------------------------------------
 
@@ -516,9 +666,19 @@ class XememModule:
         return None
 
     def _sweep_leases(self) -> None:
-        """GC every tracked enclave whose lease has expired."""
+        """GC every tracked enclave whose lease has expired.
+
+        Deferred at degradation level 2: under pressure the sweep's
+        bookkeeping yields its cycles to the serving hot path; the next
+        sweep below the threshold catches up (leases only get *more*
+        expired)."""
         lease = self._lease_ns()
         if lease is None:
+            return
+        ov = self.overload
+        if ov is not None and ov.refresh_level() >= 2:
+            ov.gc_deferred += 1
+            obs.get().counter("overload.ns.gc_deferred").inc()
             return
         ns = self.nameserver
         for eid in ns.expired_enclaves(self.engine.now, lease):
@@ -564,7 +724,50 @@ class XememModule:
         with obs.get().span("xemem.ns.handle", self.engine,
                             track=self.enclave.name, kind=kind,
                             req_id=msg.payload.get("req_id")):
+            if self.overload is not None:
+                yield from self._dispatch_protected(msg, self.overload)
+            else:
+                yield from self._dispatch_at_name_server(msg)
+
+    def _dispatch_protected(self, msg: KernelMessage, ov: "OV.ModuleOverload"):
+        """NS dispatch behind admission control + the degradation ladder.
+
+        Ladder (docs/OVERLOAD.md): level 1 — discovery (lookup/list)
+        sheds before attach; lookups may still be answered from a
+        stale-bounded cache without consuming a serve slot. Level 2 —
+        lease GC defers (see :meth:`_sweep_leases`). Release-class
+        traffic always admits ahead of both.
+        """
+        ov.refresh_level()
+        kind = msg.kind
+        if ov.level >= 1 and kind in (C.LOOKUP_NAME, C.LIST_NAMES):
+            if kind == C.LOOKUP_NAME:
+                cached = ov.lookup_cache.get(msg.payload.get("name"))
+                if cached is not None and (
+                    self.engine.now - cached[1] <= ov.cfg.stale_lookup_ttl_ns
+                ):
+                    ov.stale_hits += 1
+                    ov.controller.count_served_direct()
+                    obs.get().counter("overload.ns.stale_lookups").inc()
+                    self._spawn_send(C.make_response(
+                        msg, self.my_id, segid=cached[0], stale=True,
+                    ))
+                    return
+            ov.controller.count_shed_direct()
+            self._reject_overloaded(msg, OV.SHED, ov)
+            return
+        try:
+            verdict = yield from ov.controller.admit(kind)
+        except XememError:
+            obs.get().counter("overload.aborted").inc()
+            return
+        if verdict != OV.SERVE:
+            self._reject_overloaded(msg, verdict, ov)
+            return
+        try:
             yield from self._dispatch_at_name_server(msg)
+        finally:
+            ov.controller.release()
 
     def _dispatch_at_name_server(self, msg: KernelMessage):
         ns = self.nameserver
@@ -616,6 +819,11 @@ class XememModule:
             return
         if kind == C.LOOKUP_NAME:
             segid = ns.lookup_name(msg.payload["name"])
+            if self.overload is not None and segid is not None:
+                # feed the stale-bounded cache the ladder serves from
+                self.overload.lookup_cache[msg.payload["name"]] = (
+                    segid, self.engine.now,
+                )
             self._respond(msg, segid=segid)
             return
         if kind == C.LIST_NAMES:
@@ -624,10 +832,7 @@ class XememModule:
             return
         if kind == C.ENCLAVE_DEPART:
             departing = msg.payload["src"]
-            purged = [
-                sid for sid, rec in list(ns.segids.items())
-                if rec.owner_enclave_id == departing
-            ]
+            purged = ns.segids_of(departing)
             for sid in purged:
                 ns.remove_segid(sid, departing)
             # routing entries are purged by EnclaveSystem.shutdown_enclave
@@ -1137,6 +1342,8 @@ class XememModule:
                 for event in events:
                     if not event.triggered:
                         event.fail(err)
+            if self.overload is not None:
+                self.overload.fail_all(err)
         # Drop *all* per-registration state, not just the segments: stale
         # grants, attachment refcounts, and signal subscriptions must not
         # survive into a later re-join of the same enclave.
@@ -1185,6 +1392,8 @@ class XememModule:
             for event in events:
                 if not event.triggered:
                     event.fail(err)
+        if self.overload is not None:
+            self.overload.fail_all(err)
         self.segments.clear()
         self.grants.clear()
         self._live_attachments.clear()

@@ -16,8 +16,9 @@ enclave. It is the single authority for:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.xemem.ids import SEGID_BASE, SegmentId, XememError
@@ -46,6 +47,14 @@ class NameServer:
         # -- failure detection (fault-injection extension) --
         #: enclave id -> virtual time of its last heartbeat beacon
         self.last_heartbeat_ns: Dict[int, int] = {}
+        #: lazy min-heap of (last_hb_ns, enclave_id): the expiry index
+        #: that makes lease sweeps O(expired) instead of O(tracked).
+        #: Superseded entries (a newer beacon re-stamped the enclave) stay
+        #: in the heap and are discarded when popped.
+        self._expiry_heap: List[Tuple[int, int]] = []
+        #: owner enclave id -> set of owned segids, so :meth:`gc_enclave`
+        #: never scans the whole segid table.
+        self._segids_by_owner: Dict[int, set] = {}
         #: enclave ids garbage-collected after crash / lease expiry
         self.retired_enclaves: set = set()
         #: segids whose owner was garbage-collected (distinct error text
@@ -74,6 +83,7 @@ class NameServer:
         segid = SegmentId(self._next_segid)
         self._next_segid += 1
         self.segids[int(segid)] = SegidRecord(segid, owner_enclave_id, npages, name)
+        self._segids_by_owner.setdefault(owner_enclave_id, set()).add(int(segid))
         if name is not None:
             self._names[name] = int(segid)
         self.stats["segids_allocated"] += 1
@@ -111,10 +121,18 @@ class NameServer:
                 f"enclave {enclave_id} does not own segid {int(segid):#x}"
             )
         del self.segids[int(segid)]
+        owned = self._segids_by_owner.get(rec.owner_enclave_id)
+        if owned is not None:
+            owned.discard(int(segid))
         if rec.name is not None:
             self._names.pop(rec.name, None)
         self.stats["removed"] += 1
         obs.get().counter("xemem.ns.segids_removed").inc()
+
+    def segids_of(self, owner_enclave_id: int) -> list:
+        """Sorted segids currently owned by ``owner_enclave_id``
+        (O(owned) via the per-owner index)."""
+        return sorted(self._segids_by_owner.get(owner_enclave_id, ()))
 
     def lookup_name(self, name: str) -> Optional[int]:
         """Discoverability: segid registered under ``name``, or None."""
@@ -140,24 +158,39 @@ class NameServer:
         if enclave_id in self.retired_enclaves:
             return  # a zombie beacon from an already-GC'd enclave
         self.last_heartbeat_ns[int(enclave_id)] = int(now_ns)
+        heapq.heappush(self._expiry_heap, (int(now_ns), int(enclave_id)))  # repro: noqa[REP006] reason=expiry index over (stamp_ns, enclave_id) int pairs, a data structure, not event scheduling; ordering is total so iteration is deterministic
 
     def expired_enclaves(self, now_ns: int, lease_ns: int) -> list:
-        """Tracked enclaves whose lease has lapsed (sorted for determinism)."""
-        return sorted(
-            eid for eid, last in self.last_heartbeat_ns.items()
-            if last + lease_ns < now_ns
-        )
+        """Tracked enclaves whose lease has lapsed (sorted for determinism).
+
+        O(expired + stale) via the expiry heap, not O(tracked): only heap
+        entries older than the lease window are popped. Entries a newer
+        beacon superseded are discarded as encountered; truly expired
+        enclaves are re-pushed so the query stays repeatable until
+        :meth:`gc_enclave` retires them.
+        """
+        expired: set = set()
+        heap = self._expiry_heap
+        while heap and heap[0][0] + lease_ns < now_ns:
+            stamp, eid = heapq.heappop(heap)  # repro: noqa[REP006] reason=expiry index over (stamp_ns, enclave_id) int pairs, a data structure, not event scheduling; ordering is total so iteration is deterministic
+            current = self.last_heartbeat_ns.get(eid)
+            if current is None or current != stamp or eid in expired:
+                continue  # retired, superseded, or a duplicate entry
+            expired.add(eid)
+        result = sorted(expired)
+        for eid in result:
+            heapq.heappush(heap, (self.last_heartbeat_ns[eid], eid))  # repro: noqa[REP006] reason=expiry index over (stamp_ns, enclave_id) int pairs, a data structure, not event scheduling; ordering is total so iteration is deterministic
+        return result
 
     def gc_enclave(self, enclave_id: int) -> list:
         """Purge everything a dead enclave owned; returns its segids.
 
         Purged segids move to the retired set so later requests get a
         crash-specific error and retried removals are idempotent.
+        O(owned segids) via the per-owner index — GC of one dead enclave
+        never scans every registration on the system.
         """
-        purged = sorted(
-            sid for sid, rec in self.segids.items()
-            if rec.owner_enclave_id == enclave_id
-        )
+        purged = sorted(self._segids_by_owner.pop(enclave_id, ()))
         for sid in purged:
             rec = self.segids.pop(sid)
             if rec.name is not None:
@@ -175,6 +208,12 @@ class NameServer:
         recovery time, so the outage itself never expires a live enclave."""
         for eid in self.last_heartbeat_ns:
             self.last_heartbeat_ns[eid] = int(now_ns)
+        # rebuild the expiry index in one shot; the old entries are all
+        # superseded and would only be popped to be discarded
+        self._expiry_heap = [
+            (int(now_ns), eid) for eid in sorted(self.last_heartbeat_ns)
+        ]
+        heapq.heapify(self._expiry_heap)  # repro: noqa[REP006] reason=expiry index over (stamp_ns, enclave_id) int pairs, a data structure, not event scheduling; ordering is total so iteration is deterministic
 
     @property
     def live_segments(self) -> int:

@@ -78,6 +78,28 @@ def test_rep002_instance_methods_ok():
     check("def f(rng):\n    return rng.choice([1, 2])\n", [])
 
 
+def test_rep002_retry_backoff_jitter_must_be_seeded():
+    # Regression for the overload layer's retry paths: backoff jitter
+    # drawn from module-level random is exactly the nondeterminism that
+    # breaks byte-identical soak reruns; it must come from an
+    # engine-seeded stream (ModuleOverload.jitter_ns).
+    check(
+        "import random\n"
+        "def backoff(base_ns, attempt):\n"
+        "    return base_ns * 2 ** attempt + random.randrange(1000)\n",
+        ["REP002"],
+    )
+    check(
+        "import random\n"
+        "class Retrier:\n"
+        "    def __init__(self, seed, name):\n"
+        "        self.rng = random.Random(f'overload-client:{seed}:{name}')\n"
+        "    def backoff(self, base_ns, attempt):\n"
+        "        return base_ns * 2 ** attempt + self.rng.randrange(1000)\n",
+        [],
+    )
+
+
 # -- REP003 iteration order --------------------------------------------------
 
 def test_rep003_for_over_set_literal():

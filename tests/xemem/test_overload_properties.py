@@ -1,0 +1,140 @@
+"""Property tests for the admission controller's accounting contract.
+
+The invariants the module docstring promises, proven over randomized
+arrival schedules, service times, policies, and queue shapes:
+
+* conservation — at every virtual time,
+  ``offered == admitted + rejected + shed + aborted + waiting``;
+* boundedness — ``waiting`` never exceeds ``queue_cap`` and
+  ``in_service`` never exceeds ``workers``, at any virtual time;
+* single verdict — every offered request resolves to exactly one of
+  serve/reject/shed (never both granted and refused);
+* drain — once the engine quiesces nothing is left parked, and the
+  verdict tallies equal the controller's counters.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+from repro.xemem import commands as C
+from repro.xemem.overload import (
+    REJECT, SERVE, SHED, AdmissionController, OverloadConfig,
+)
+
+#: One representative kind per admission class, plus defaults.
+KINDS = (
+    C.GET_REQ, C.ATTACH_REQ, C.RELEASE_REQ, C.LOOKUP_NAME,
+    C.LIST_NAMES, C.ALLOC_SEGID, C.SIGNAL_REQ, C.ENCLAVE_DEPART,
+)
+
+#: (kind index, inter-arrival gap ns, service time ns)
+REQUESTS = st.lists(
+    st.tuples(
+        st.integers(0, len(KINDS) - 1),
+        st.integers(0, 30_000),
+        st.integers(0, 25_000),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def run_schedule(policy, workers, qcap, requests, abort_at_ns=None):
+    """Drive one controller through a request schedule; returns
+    (controller, verdicts list, aborts)."""
+    eng = Engine()
+    cfg = OverloadConfig(
+        policy=policy, workers=workers, queue_cap=qcap,
+        codel_target_ns=5_000, codel_interval_ns=10_000,
+    )
+    ctrl = AdmissionController(cfg, eng, "prop")
+    verdicts = []
+    aborts = []
+
+    def check_invariants():
+        assert ctrl.waiting <= cfg.queue_cap
+        assert ctrl.in_service <= cfg.workers
+        assert ctrl.offered == (
+            ctrl.admitted + ctrl.rejected + ctrl.shed + ctrl.aborted
+            + ctrl.waiting
+        )
+
+    def req(kind, service_ns):
+        try:
+            verdict = yield from ctrl.admit(kind)
+        except RuntimeError:
+            aborts.append(kind)
+            check_invariants()
+            return
+        verdicts.append(verdict)
+        check_invariants()
+        if verdict == SERVE:
+            yield eng.sleep(service_ns)
+            ctrl.release()
+            check_invariants()
+
+    def arrivals():
+        for i, (kind_idx, gap, service) in enumerate(requests):
+            if gap:
+                yield eng.sleep(gap)
+            eng.spawn(req(KINDS[kind_idx], service), name=f"req{i}")
+            check_invariants()
+
+    def killer():
+        yield eng.sleep(abort_at_ns)
+        ctrl.fail_all(RuntimeError("crash"))
+        check_invariants()
+
+    eng.run_process(arrivals(), name="arrivals")
+    if abort_at_ns is not None:
+        eng.spawn(killer(), name="killer")
+    eng.run()
+    check_invariants()
+    return ctrl, verdicts, aborts
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    policy=st.sampled_from(["fail-fast", "codel"]),
+    workers=st.integers(1, 3),
+    qcap=st.integers(1, 12),
+    requests=REQUESTS,
+)
+def test_offered_balance_and_bounded_queues(policy, workers, qcap, requests):
+    ctrl, verdicts, aborts = run_schedule(policy, workers, qcap, requests)
+    # drained: nothing parked, nothing in service
+    assert ctrl.waiting == 0 and ctrl.in_service == 0
+    # single verdict per request, none lost
+    assert len(verdicts) == len(requests)
+    assert not aborts
+    # the verdict tallies ARE the counters (no double accounting)
+    assert verdicts.count(SERVE) == ctrl.admitted
+    assert verdicts.count(REJECT) == ctrl.rejected
+    assert verdicts.count(SHED) == ctrl.shed
+    assert ctrl.offered == len(requests)
+    assert ctrl.admitted == ctrl.completed
+    # shedding is a codel-only, new/discovery-only behavior
+    if policy == "fail-fast":
+        assert ctrl.shed == 0
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    workers=st.integers(1, 2),
+    qcap=st.integers(1, 8),
+    requests=REQUESTS,
+    abort_at_ns=st.integers(0, 200_000),
+)
+def test_fail_all_preserves_the_balance(workers, qcap, requests, abort_at_ns):
+    ctrl, verdicts, aborts = run_schedule(
+        "fail-fast", workers, qcap, requests, abort_at_ns=abort_at_ns,
+    )
+    # every request resolved exactly once, as a verdict or an abort
+    assert len(verdicts) + len(aborts) == len(requests)
+    assert ctrl.aborted == len(aborts)
+    assert ctrl.waiting == 0
+    assert ctrl.offered == (
+        ctrl.admitted + ctrl.rejected + ctrl.shed + ctrl.aborted
+    )
