@@ -75,15 +75,17 @@ class EnclaveSystem:
         """Every enclave must reach the name server through channels."""
         if self.name_server_enclave is None:
             raise DiscoveryError("no name server designated")
-        seen = {id(self.name_server_enclave)}
+        # Reachability keyed by enclave name (stable across host
+        # processes), not id(); enclave names are unique per system.
+        seen = {self.name_server_enclave.name}
         frontier = [self.name_server_enclave]
         while frontier:
             cur = frontier.pop()
             for nxt in self.neighbors(cur):
-                if id(nxt) not in seen:
-                    seen.add(id(nxt))
+                if nxt.name not in seen:
+                    seen.add(nxt.name)
                     frontier.append(nxt)
-        unreachable = [e.name for e in self.enclaves if id(e) not in seen]
+        unreachable = [e.name for e in self.enclaves if e.name not in seen]
         if unreachable:
             raise DiscoveryError(
                 f"enclaves cannot reach the name server: {unreachable}"

@@ -2,25 +2,49 @@
 
 Exit codes: 0 clean (or everything baselined/suppressed), 1 findings,
 2 usage error. ``--format json`` emits the machine-readable report the
-CI job uploads as an artifact (schema in docs/LINT.md).
+CI job uploads as an artifact (schema in docs/LINT.md); ``--format
+sarif`` emits SARIF 2.1.0 for GitHub code scanning. ``--changed``
+restricts *reporting* to files touched per git while still building
+the call graph over the whole default tree — the fast pre-commit mode.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 
 from repro.lint.baseline import Baseline
 from repro.lint.engine import lint_paths
-from repro.lint.rules import ALL_RULES, CODES
+from repro.lint.findings import Severity
+from repro.lint.rules import ALL_RULES, PROJECT_RULES
+from repro.lint.sarif import render_sarif
 
 #: Default lint targets, relative to the invocation directory.
 DEFAULT_PATHS = ("src/repro", "tests")
 #: Default baseline location (missing file = empty baseline).
 DEFAULT_BASELINE = "lint-baseline.json"
-#: JSON report schema version.
-REPORT_VERSION = 1
+#: JSON report schema version (2 added the per-finding "chain").
+REPORT_VERSION = 2
+
+
+class MetaRuleInfo:
+    """REP000's catalog entry (the rule itself lives in noqa.py)."""
+
+    code = "REP000"
+    name = "suppressions"
+    severity = Severity.ERROR
+
+    @classmethod
+    def summary(cls) -> str:
+        return ("Malformed or stale '# repro: noqa[REPxxx] reason=...' "
+                "directive (always on).")
+
+
+#: Rule metadata order for --list-rules and the SARIF driver catalog.
+RULE_CATALOG = (MetaRuleInfo,) + ALL_RULES + PROJECT_RULES
 
 
 def _codes(value: str) -> list:
@@ -30,12 +54,14 @@ def _codes(value: str) -> list:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
-        description="AST-level determinism & simulation-safety checks "
-                    "(REP001-REP008; see docs/LINT.md).",
+        description="Whole-program determinism & parallelism-safety "
+                    "checks (per-file REP001-REP008 + call-graph "
+                    "REP101-REP113; see docs/LINT.md).",
     )
     parser.add_argument("paths", nargs="*",
                         help=f"files/directories (default: {' '.join(DEFAULT_PATHS)})")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="report format (default: text)")
     parser.add_argument("--select", type=_codes, default=None, metavar="CODES",
                         help="comma-separated codes to run (default: all)")
@@ -46,11 +72,40 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(default: {DEFAULT_BASELINE}; missing = empty)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="write current findings to the baseline and exit 0")
+    parser.add_argument("--changed", action="store_true",
+                        help="report only files changed per git (diff vs "
+                             "HEAD + untracked); the call graph still "
+                             "covers the whole default tree")
+    parser.add_argument("--index-cache", metavar="FILE",
+                        help="read/refresh a phase-1 index cache keyed on "
+                             "source sha256 (corrupt/missing = cold start)")
     parser.add_argument("--output", metavar="FILE",
                         help="also write the report to FILE")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     return parser
+
+
+def _git_changed_files() -> list:
+    """Changed-vs-HEAD plus untracked ``.py`` files under the default
+    lint tree, or None when git is unavailable (not a repo)."""
+    files: set = set()
+    for cmd in (
+        ("git", "diff", "--name-only", "HEAD", "--"),
+        ("git", "ls-files", "--others", "--exclude-standard"),
+    ):
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+        except OSError:
+            return None
+        if proc.returncode != 0:
+            return None
+        files.update(proc.stdout.split())
+    prefixes = tuple(p.rstrip("/") + "/" for p in DEFAULT_PATHS)
+    return sorted(
+        f for f in files
+        if f.endswith(".py") and f.startswith(prefixes) and os.path.isfile(f)
+    )
 
 
 def _render_text(new, old, files_scanned: int) -> str:
@@ -78,21 +133,47 @@ def _render_json(new, old, files_scanned: int) -> str:
     return json.dumps(report, indent=2, sort_keys=True)
 
 
+def _render_sarif_report(new, old, files_scanned: int) -> str:
+    return render_sarif(new, old, RULE_CATALOG)
+
+
+_RENDERERS = {
+    "text": _render_text,
+    "json": _render_json,
+    "sarif": _render_sarif_report,
+}
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for cls in ALL_RULES:
+        for cls in RULE_CATALOG:
             print(f"{cls.code} {cls.name:18s} {cls.summary()}")
-        print("REP000 suppressions       Malformed "
-              "'# repro: noqa[REPxxx] reason=...' directive (always on).")
         return 0
 
-    paths = args.paths or [p for p in DEFAULT_PATHS]
+    project_paths = None
+    if args.changed:
+        if args.paths:
+            parser.error("--changed and explicit paths are exclusive")
+        changed = _git_changed_files()
+        if changed is None:
+            print("error: --changed requires a git checkout",
+                  file=sys.stderr)
+            return 2
+        if not changed:
+            print("clean: no changed python files")
+            return 0
+        paths = changed
+        project_paths = list(DEFAULT_PATHS)
+    else:
+        paths = args.paths or [p for p in DEFAULT_PATHS]
+
     try:
         findings, files_scanned = lint_paths(
-            paths, select=args.select, ignore=args.ignore
+            paths, select=args.select, ignore=args.ignore,
+            project_paths=project_paths, cache_file=args.index_cache,
         )
     except ValueError as exc:  # unknown --select/--ignore codes
         parser.error(str(exc))
@@ -117,17 +198,13 @@ def main(argv=None) -> int:
         print(f"error: bad baseline {args.baseline}: {exc}", file=sys.stderr)
         return 2
 
-    render = _render_json if args.format == "json" else _render_text
-    report = render(new, old, files_scanned)
+    report = _RENDERERS[args.format](new, old, files_scanned)
     print(report)
     if args.output:
         with open(args.output, "w") as fp:
             fp.write(report + "\n")
     return 1 if new else 0
 
-
-# Keep ``--select``'s error message in sync with the registry.
-assert len(CODES) == len(ALL_RULES)
 
 if __name__ == "__main__":
     sys.exit(main())

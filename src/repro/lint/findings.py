@@ -43,6 +43,10 @@ class Finding:
     #: the stripped source line, used for baseline fingerprinting so
     #: grandfathered findings survive unrelated line-number drift
     source_line: str = field(default="", compare=False)
+    #: interprocedural propagation chain (whole-program REP1xx rules):
+    #: ``(path, line, text)`` steps from this site down to the
+    #: nondeterminism source; empty for per-file findings
+    chain: tuple = field(default=(), compare=False)
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.code)
@@ -52,8 +56,15 @@ class Finding:
         return (self.path, self.code, self.source_line)
 
     def render(self) -> str:
-        """The canonical ``path:line:col: CODE message`` text form."""
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        """The canonical ``path:line:col: CODE message`` text form.
+
+        Chain steps follow on indented continuation lines so the full
+        propagation path reads top-down to the source.
+        """
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        for path, line, step in self.chain:
+            text += f"\n    {path}:{line}: {step}"
+        return text
 
     def as_dict(self) -> dict:
         """JSON-ready form (schema documented in docs/LINT.md)."""
@@ -65,4 +76,8 @@ class Finding:
             "col": self.col,
             "severity": self.severity.value,
             "source_line": self.source_line,
+            "chain": [
+                {"path": path, "line": line, "text": text}
+                for path, line, text in self.chain
+            ],
         }

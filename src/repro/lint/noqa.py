@@ -44,6 +44,8 @@ class Directive:
     reason: str
     #: set by the engine when the directive suppresses at least one finding
     used: bool = field(default=False, compare=False)
+    #: the subset of :attr:`codes` that matched a finding (stale check)
+    hits: set = field(default_factory=set, compare=False)
 
     def matches(self, code: str) -> bool:
         return code in self.codes
@@ -113,7 +115,9 @@ def apply(findings: list, directives: dict) -> tuple:
     """Split ``findings`` into (kept, suppressed) per the directives.
 
     ``META_CODE`` findings are never suppressible — a directive cannot
-    waive the rule that validates directives.
+    waive the rule that validates directives. Each directive records
+    per-code which of its waivers actually matched a finding
+    (:attr:`Directive.hits`), feeding :func:`stale_findings`.
     """
     kept: list = []
     suppressed: list = []
@@ -121,7 +125,37 @@ def apply(findings: list, directives: dict) -> tuple:
         d = directives.get(f.line)
         if f.code != META_CODE and d is not None and d.matches(f.code):
             d.used = True
+            d.hits.add(f.code)
             suppressed.append(f)
         else:
             kept.append(f)
     return kept, suppressed
+
+
+def stale_findings(directives: dict, active_codes, path: str,
+                   lines) -> list:
+    """REP000 findings for stale directives after :func:`apply` ran.
+
+    A waived code is *stale* when the linter actually ran that rule
+    over the file (``active_codes``) and the directive's line produced
+    no matching finding — the suppression has outlived its violation
+    and must be deleted, or it would silently waive a future
+    regression. Codes outside the active battery (``--select`` runs,
+    project codes during a per-file-only pass) are never reported
+    stale: absence of evidence only counts when the rule looked.
+    """
+    active = frozenset(active_codes)
+    out: list = []
+    for lineno in sorted(directives):
+        d = directives[lineno]
+        stale = sorted((d.codes & active) - d.hits)
+        if not stale:
+            continue
+        text = lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+        out.append(
+            Finding(META_CODE,
+                    f"stale noqa[{','.join(stale)}] — nothing on this "
+                    "line triggers it any more; delete the directive",
+                    path, lineno, 0, Severity.ERROR, source_line=text)
+        )
+    return out

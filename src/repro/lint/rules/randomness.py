@@ -14,37 +14,16 @@ from __future__ import annotations
 import ast
 
 from repro.lint.findings import Severity
+from repro.lint.sources import (
+    ENTROPY_CALLS,
+    GLOBAL_RANDOM_FNS,
+    SEEDED_CTORS,
+    has_seed as _has_seed,
+)
 from repro.lint.visitor import Rule
 
-#: The global-RNG module functions (shared hidden state).
-GLOBAL_RANDOM_FNS = frozenset({
-    "betavariate", "choice", "choices", "expovariate", "gammavariate",
-    "gauss", "getrandbits", "lognormvariate", "normalvariate",
-    "paretovariate", "randbytes", "randint", "random", "randrange",
-    "sample", "seed", "shuffle", "triangular", "uniform",
-    "vonmisesvariate", "weibullvariate",
-})
-
-#: Constructors that must receive an explicit seed.
-SEEDED_CTORS = frozenset({
-    "random.Random",
-    "random.SystemRandom",  # never seedable — flagged outright below
-    "numpy.random.default_rng",
-    "numpy.random.RandomState",
-    "numpy.random.Generator",
-})
-
-#: OS-entropy sources: nondeterministic regardless of seeding.
-ENTROPY_CALLS = frozenset({"os.urandom", "uuid.uuid4", "uuid.uuid1"})
-
-
-def _has_seed(node: ast.Call) -> bool:
-    """True when the constructor call passes any seed-like argument."""
-    if node.args and not any(
-        isinstance(a, ast.Constant) and a.value is None for a in node.args[:1]
-    ):
-        return True
-    return any(kw.arg in ("seed", "x") for kw in node.keywords)
+# The source tables live in :mod:`repro.lint.sources`, shared with the
+# whole-program taint pass (REP102) so the two layers cannot drift.
 
 
 class RandomnessRule(Rule):

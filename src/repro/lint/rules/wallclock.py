@@ -13,29 +13,13 @@ from __future__ import annotations
 import ast
 
 from repro.lint.findings import Severity
+from repro.lint.sources import WALLCLOCK_BOUNDARY, WALLCLOCK_CALLS
 from repro.lint.visitor import Rule
 
-#: Host-time entry points. Resolution is import-aware, so
-#: ``from time import perf_counter as pc; pc()`` is still caught.
-WALLCLOCK_CALLS = frozenset({
-    "time.time",
-    "time.time_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.process_time",
-    "time.process_time_ns",
-    "time.clock_gettime",
-    "time.clock_gettime_ns",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "datetime.date.today",
-})
-
-#: Files allowed to read host time without a suppression.
-ALLOWLIST = ("repro/obs/engine_hooks.py",)
+#: Files allowed to read host time without a suppression. The source
+#: table itself lives in :mod:`repro.lint.sources`, shared with the
+#: whole-program taint pass (REP101) so the two layers cannot drift.
+ALLOWLIST = WALLCLOCK_BOUNDARY
 
 
 class WallclockRule(Rule):

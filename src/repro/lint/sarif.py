@@ -1,0 +1,239 @@
+"""SARIF 2.1.0 emission for GitHub code scanning.
+
+:func:`to_sarif` renders a lint run as one SARIF log: rule metadata
+from the battery, one result per finding (new *and* baselined —
+baselined results carry a ``suppressions`` entry so code scanning
+shows them resolved rather than new), ``partialFingerprints`` from the
+same ``(path, code, source line)`` identity the baseline uses, and a
+``codeFlows`` thread for every interprocedural propagation chain so a
+REP101 annotation walks the reviewer from the call edge down to the
+``time.time()`` it reaches.
+
+:func:`validate_sarif` is a vendored *minimal* structural check of the
+2.1.0 shape — the subset GitHub's ingestion actually requires — so the
+schema test runs without a jsonschema dependency. It is deliberately
+strict about the properties we emit and silent about ones we don't.
+"""
+
+from __future__ import annotations
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _uri(path: str) -> str:
+    """Repo-relative forward-slash artifact URI."""
+    p = path.replace("\\", "/")
+    while p.startswith("./"):
+        p = p[2:]
+    return p
+
+
+def _location(path: str, line: int, col: int, message=None) -> dict:
+    loc = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": _uri(path)},
+            "region": {"startLine": max(line, 1),
+                       "startColumn": max(col, 0) + 1},
+        }
+    }
+    if message is not None:
+        loc["message"] = {"text": message}
+    return loc
+
+
+def _code_flow(finding) -> dict:
+    """The propagation chain as one SARIF thread flow."""
+    steps = [
+        {"location": _location(path, line, 0, message=text)}
+        for path, line, text in finding.chain
+    ]
+    return {"threadFlows": [{"locations": steps}]}
+
+
+def _result(finding, suppressed: bool) -> dict:
+    result = {
+        "ruleId": finding.code,
+        "level": _LEVELS.get(finding.severity.value, "warning"),
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+        "partialFingerprints": {
+            "reproLintFingerprint/v1":
+                f"{_uri(finding.path)}:{finding.code}:{finding.source_line}",
+        },
+    }
+    if finding.chain:
+        result["codeFlows"] = [_code_flow(finding)]
+    if suppressed:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "grandfathered in lint-baseline.json",
+        }]
+    return result
+
+
+def to_sarif(new, baselined, rule_classes) -> dict:
+    """Build the SARIF log object for one run."""
+    rules = [
+        {
+            "id": cls.code,
+            "name": cls.name,
+            "shortDescription": {"text": cls.summary()},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(cls.severity.value, "warning"),
+            },
+            "helpUri": "docs/LINT.md",
+        }
+        for cls in rule_classes
+    ]
+    results = [_result(f, suppressed=False) for f in new]
+    results.extend(_result(f, suppressed=True) for f in baselined)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/LINT.md",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def render_sarif(new, baselined, rule_classes) -> str:
+    return json.dumps(to_sarif(new, baselined, rule_classes), indent=2,
+                      sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Minimal structural validation (vendored subset of the 2.1.0 schema)
+# ---------------------------------------------------------------------------
+
+
+def validate_sarif(doc) -> list:
+    """Structural errors in ``doc`` against the SARIF 2.1.0 subset we
+    emit; an empty list means valid. Paths in messages use dotted/JSON
+    pointer-ish notation for quick diagnosis."""
+    errors: list = []
+
+    def err(where: str, what: str) -> None:
+        errors.append(f"{where}: {what}")
+
+    def expect(obj, where, key, types, required=True):
+        if key not in obj:
+            if required:
+                err(where, f"missing required property '{key}'")
+            return None
+        if not isinstance(obj[key], types):
+            err(f"{where}.{key}",
+                f"expected {types}, got {type(obj[key]).__name__}")
+            return None
+        return obj[key]
+
+    if not isinstance(doc, dict):
+        return ["document: expected object"]
+    if doc.get("version") != SARIF_VERSION:
+        err("version", f"must be '{SARIF_VERSION}'")
+    runs = expect(doc, "document", "runs", list)
+    for i, run in enumerate(runs or ()):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            err(where, "expected object")
+            continue
+        tool = expect(run, where, "tool", dict)
+        driver = tool and expect(tool, f"{where}.tool", "driver", dict)
+        if driver is not None:
+            expect(driver, f"{where}.tool.driver", "name", str)
+            for j, rule in enumerate(driver.get("rules", ())):
+                rwhere = f"{where}.tool.driver.rules[{j}]"
+                if not isinstance(rule, dict):
+                    err(rwhere, "expected object")
+                    continue
+                expect(rule, rwhere, "id", str)
+        results = expect(run, where, "results", list)
+        for j, result in enumerate(results or ()):
+            _validate_result(result, f"{where}.results[{j}]", err, expect)
+    return errors
+
+
+def _validate_result(result, where, err, expect) -> None:
+    if not isinstance(result, dict):
+        err(where, "expected object")
+        return
+    expect(result, where, "ruleId", str)
+    level = result.get("level")
+    if level is not None and level not in ("none", "note", "warning",
+                                           "error"):
+        err(f"{where}.level", f"invalid level {level!r}")
+    message = expect(result, where, "message", dict)
+    if message is not None:
+        expect(message, f"{where}.message", "text", str)
+    locations = expect(result, where, "locations", list)
+    for k, loc in enumerate(locations or ()):
+        _validate_location(loc, f"{where}.locations[{k}]", err, expect)
+    for k, flow in enumerate(result.get("codeFlows", ())):
+        fwhere = f"{where}.codeFlows[{k}]"
+        if not isinstance(flow, dict):
+            err(fwhere, "expected object")
+            continue
+        threads = expect(flow, fwhere, "threadFlows", list)
+        for t, thread in enumerate(threads or ()):
+            twhere = f"{fwhere}.threadFlows[{t}]"
+            if not isinstance(thread, dict):
+                err(twhere, "expected object")
+                continue
+            steps = expect(thread, twhere, "locations", list)
+            for s, step in enumerate(steps or ()):
+                swhere = f"{twhere}.locations[{s}]"
+                if not isinstance(step, dict):
+                    err(swhere, "expected object")
+                    continue
+                inner = expect(step, swhere, "location", dict)
+                if inner is not None:
+                    _validate_location(inner, f"{swhere}.location", err,
+                                       expect)
+    for k, sup in enumerate(result.get("suppressions", ())):
+        swhere = f"{where}.suppressions[{k}]"
+        if not isinstance(sup, dict):
+            err(swhere, "expected object")
+            continue
+        kind = sup.get("kind")
+        if kind not in ("inSource", "external"):
+            err(f"{swhere}.kind", f"invalid suppression kind {kind!r}")
+
+
+def _validate_location(loc, where, err, expect) -> None:
+    if not isinstance(loc, dict):
+        err(where, "expected object")
+        return
+    phys = expect(loc, where, "physicalLocation", dict)
+    if phys is None:
+        return
+    art = expect(phys, f"{where}.physicalLocation", "artifactLocation",
+                 dict)
+    if art is not None:
+        uri = expect(art, f"{where}.physicalLocation.artifactLocation",
+                     "uri", str)
+        if uri is not None and (uri.startswith("/") or "\\" in uri):
+            err(f"{where}.physicalLocation.artifactLocation.uri",
+                f"must be a relative forward-slash URI, got {uri!r}")
+    region = expect(phys, f"{where}.physicalLocation", "region", dict,
+                    required=False)
+    if region is not None:
+        for key in ("startLine", "startColumn"):
+            value = region.get(key)
+            if value is not None and (not isinstance(value, int)
+                                      or value < 1):
+                err(f"{where}.physicalLocation.region.{key}",
+                    f"must be a positive integer, got {value!r}")

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import ast
 
-from repro.lint import noqa as noqa_mod
 from repro.lint.context import FileContext
 
 
@@ -47,12 +46,29 @@ class Rule:
         return table
 
 
-def run_rules(ctx: FileContext, rules: list) -> list:
-    """Run ``rules`` over ``ctx``'s tree in one walk; returns findings.
+class ProjectRule(Rule):
+    """Base class for one whole-program (REP1xx) rule.
 
-    Findings suppressed by a valid same-line ``# repro: noqa[...]``
-    directive are dropped here; malformed directives come back as
-    REP000 findings. The result is sorted by location.
+    Project rules run in phase 2, after every file has been indexed:
+    instead of ``visit_*`` handlers they implement
+    ``check(project, reporter)`` against the merged
+    :class:`~repro.lint.project.ProjectIndex`, reporting through a
+    :class:`~repro.lint.engine.ProjectReporter` (which anchors findings
+    to source lines and carries propagation chains). One instance
+    checks the whole project, not one file.
+    """
+
+    def check(self, project, reporter) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+def run_rules(ctx: FileContext, rules: list) -> list:
+    """Run per-file ``rules`` over ``ctx``'s tree in one walk.
+
+    Returns the **raw** findings sorted by location; suppression
+    (``# repro: noqa[...]``), staleness checks, and merging with the
+    project-rule findings happen centrally in the engine, so per-file
+    and whole-program findings share one noqa application.
     """
     dispatch: dict = {}
     for rule in rules:
@@ -68,8 +84,4 @@ def run_rules(ctx: FileContext, rules: list) -> list:
         ctx.ancestors.pop()
 
     walk(ctx.tree)
-
-    directives, malformed = noqa_mod.scan(ctx.source, ctx.path)
-    kept, _suppressed = noqa_mod.apply(ctx.findings, directives)
-    kept.extend(malformed)
-    return sorted(kept, key=lambda f: f.sort_key())
+    return sorted(ctx.findings, key=lambda f: f.sort_key())

@@ -420,7 +420,7 @@ def journeys(trace: TraceData) -> List[Journey]:
 
     out: List[Journey] = []
     for rid, nodes in members.items():
-        in_journey = set(id(n) for n in nodes)
+        in_journey = set(id(n) for n in nodes)  # repro: noqa[REP104] reason=process-local membership set for span-tree nodes within one pass; ids never leave this function
         explicit = tagged.get(rid, nodes)
         primary = min(explicit, key=lambda n: (n.start_ns, n.span_id or 0))
         by_subsystem: Dict[str, int] = {}
@@ -431,7 +431,7 @@ def journeys(trace: TraceData) -> List[Journey]:
         phase_roots = sorted(
             (n for n in nodes
              if not any(
-                 id(p) in in_journey for p in _ancestors(n, trace)
+                 id(p) in in_journey for p in _ancestors(n, trace)  # repro: noqa[REP104] reason=membership test against the process-local set built above; same-pass identity only
              )),
             key=lambda n: (n.start_ns, n.span_id or 0),
         )

@@ -52,12 +52,12 @@ ENV_INTERVAL = "REPRO_AUDIT_INTERVAL_NS"
 
 def env_enabled() -> bool:
     """True when ``REPRO_AUDIT`` requests auditing."""
-    return os.environ.get(ENV_ENABLE, "") not in ("", "0")
+    return os.environ.get(ENV_ENABLE, "") not in ("", "0")  # repro: noqa[REP103] reason=construction-time arming switch read by rig builders; toggles checking only, never simulation outcomes
 
 
 def env_interval_ns() -> int:
     """The audit cadence requested by ``REPRO_AUDIT_INTERVAL_NS``."""
-    raw = os.environ.get(ENV_INTERVAL, "")
+    raw = os.environ.get(ENV_INTERVAL, "")  # repro: noqa[REP103] reason=audit cadence knob; affects how often invariants are checked, not what the simulation computes
     return int(raw) if raw else DEFAULT_INTERVAL_NS
 
 
@@ -198,7 +198,7 @@ class Auditor:
         # Allocator windows over the same physical memory must be disjoint.
         by_mem: dict = {}
         for kernel in self._physical_kernels():
-            by_mem.setdefault(id(kernel.mem), []).append(kernel)
+            by_mem.setdefault(id(kernel.mem), []).append(kernel)  # repro: noqa[REP104] reason=process-local identity grouping of shared PhysicalMemory objects; never ordered on, exported, or compared across processes
         for kernels in by_mem.values():
             spans = sorted(
                 (k.allocator.start_pfn,

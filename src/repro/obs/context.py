@@ -116,14 +116,14 @@ def install(ctx: ObsContext) -> ObsContext:
     """Make ``ctx`` the active context; returns the previous one."""
     global _current
     previous = _current
-    _current = ctx
+    _current = ctx  # repro: noqa[REP110] reason=the observability context is per-host-process by design; sharded engines install their own (ROADMAP item 1)
     return previous
 
 
 def reset() -> None:
     """Restore the default disabled context."""
     global _current
-    _current = _DISABLED
+    _current = _DISABLED  # repro: noqa[REP110] reason=restores the module default; same per-process contract as install()
 
 
 @contextlib.contextmanager

@@ -237,7 +237,7 @@ def _faults_doc(injector, notes: List[dict]) -> dict:
 
 def _config_doc(config: Optional[dict]) -> dict:
     env = {
-        key: value for key, value in sorted(os.environ.items())
+        key: value for key, value in sorted(os.environ.items())  # repro: noqa[REP103] reason=incident-bundle provenance capture; records the REPRO_* config for replay, never branches on it
         if key.startswith("REPRO_") and key not in TWIN_ENV
     }
     return {

@@ -76,12 +76,15 @@ class XpmemApi:
         att: AttachedRegion = yield from self._module.attach(
             self.proc, apid, offset=offset, nbytes=size
         )
-        self._attachments[id(att)] = att
+        # Keyed by attach address (unique per live mapping in this
+        # process), not id(): object addresses differ across host
+        # processes, and sharded node engines replay this bookkeeping.
+        self._attachments[att.vaddr] = att
         return att
 
     def xpmem_detach(self, attached: AttachedRegion):
         """Generator: unmap a shared region."""
-        self._attachments.pop(id(attached), None)
+        self._attachments.pop(attached.vaddr, None)
         yield from self._module.detach(self.proc, attached)
 
     # -- discoverability extension ------------------------------------------------

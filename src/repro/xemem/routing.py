@@ -69,15 +69,17 @@ def run_discovery(system) -> Dict[str, int]:
     ns_enclave.module.routing.discovered = True
 
     # BFS order guarantees each enclave has a discovered neighbor.
+    # Visited-set keyed by enclave name (stable across host processes),
+    # not id(), so discovery order replays identically everywhere.
     order = []
-    seen = {id(ns_enclave)}
+    seen = {ns_enclave.name}
     queue = deque([ns_enclave])
     while queue:
         cur = queue.popleft()
         for channel in cur.channels:
             nxt = channel.other(cur)
-            if id(nxt) not in seen:
-                seen.add(id(nxt))
+            if nxt.name not in seen:
+                seen.add(nxt.name)
                 order.append(nxt)
                 queue.append(nxt)
 

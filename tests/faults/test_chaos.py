@@ -12,7 +12,7 @@ import sys
 from repro.faults.chaos import DEFAULT_PLAN_SPEC, run_chaos
 
 #: CI matrix offset — the same tests, a different fault schedule per job.
-SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))  # repro: noqa[REP103] reason=CI matrix parameter; the chosen seed is recorded in the chaos report for replay
 
 
 def test_default_plan_drains_and_recovers():

@@ -1,0 +1,99 @@
+"""``--changed`` mode: git-scoped reporting over a whole-tree graph."""
+
+import subprocess
+
+import pytest
+
+from repro.lint.cli import main as lint_main
+
+GIT = ("git", "-c", "user.email=lint@test", "-c", "user.name=lint")
+
+
+def git(tmp_path, *args):
+    proc = subprocess.run(GIT + args, cwd=tmp_path,
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.fixture
+def repo(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "util.py").write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  "
+        "# repro: noqa[REP001] reason=fixture boundary\n"
+    )
+    (pkg / "app.py").write_text(
+        "from repro.util import stamp\n"
+        "\n"
+        "\n"
+        "def handler():\n"
+        "    return stamp()\n"
+    )
+    git(tmp_path, "init", "-q")
+    git(tmp_path, "add", ".")
+    git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+def run(args, capsys):
+    code = lint_main(args)
+    return code, capsys.readouterr().out
+
+
+def test_no_changes_is_clean(repo, capsys):
+    code, out = run(["--changed", "--baseline", "none.json"], capsys)
+    assert code == 0
+    assert "no changed python files" in out
+
+
+def test_changed_file_is_reported(repo, capsys):
+    app = repo / "src" / "repro" / "app.py"
+    app.write_text(app.read_text() + "\n\ndef late():\n    return id(late)\n")
+    code, out = run(["--changed", "--baseline", "none.json"], capsys)
+    assert code == 1
+    assert "REP104" in out and "src/repro/app.py:9:" in out
+
+
+def test_changed_sees_taint_from_unchanged_files(repo, capsys):
+    # drop the boundary noqa in util.py: app.py did not change, but the
+    # re-linted util.py now seeds taint — only util.py is *reported*
+    util = repo / "src" / "repro" / "util.py"
+    util.write_text(util.read_text().replace(
+        "  # repro: noqa[REP001] reason=fixture boundary", ""))
+    code, out = run(["--changed", "--baseline", "none.json"], capsys)
+    assert code == 1
+    assert "REP001" in out and "app.py" not in out
+
+    # a new caller in the changed set picks up the chain through the
+    # whole-tree call graph
+    util.write_text(util.read_text() +
+                    "\n\ndef relay():\n    return stamp()\n")
+    code, out = run(["--changed", "--baseline", "none.json"], capsys)
+    assert "REP101" in out
+
+
+def test_untracked_files_count_as_changed(repo, capsys):
+    fresh = repo / "src" / "repro" / "fresh.py"
+    fresh.write_text("import os\n\n\ndef f():\n    return os.getenv('X')\n")
+    code, out = run(["--changed", "--baseline", "none.json"], capsys)
+    assert code == 1
+    assert "REP103" in out and "fresh.py" in out
+
+
+def test_changed_outside_git_is_usage_error(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+    assert lint_main(["--changed"]) == 2
+
+
+def test_changed_with_paths_is_usage_error(repo, capsys):
+    with pytest.raises(SystemExit) as exc:
+        lint_main(["--changed", "src/repro/app.py"])
+    assert exc.value.code == 2

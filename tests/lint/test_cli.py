@@ -7,21 +7,45 @@ import pytest
 from repro.lint.cli import main as lint_main
 from repro.lint.rules import CODES
 
-#: One violation of every rule, REP001-REP008.
+#: One violation of every rule, REP001-REP008 + REP101-REP113.
 DIRTY_FIXTURE = """\
+import functools
 import heapq
+import os
 import random
 import time
 
 from repro.sim.fastpath import FASTPATH
+
+REGISTRY = {}
 
 
 def wall():
     return time.time()
 
 
+def clocked():
+    return wall() + 1
+
+
 def draw():
     return random.random()
+
+
+def roll():
+    return draw()
+
+
+def flagged():
+    return os.getenv("DIRTY_FLAG")
+
+
+def keyed(obj):
+    return id(obj)
+
+
+def register(name, value):
+    REGISTRY[name] = value
 
 
 def materialize(a):
@@ -44,13 +68,32 @@ def poke(q):
 
 def swallow():
     try:
-        wall()
+        materialize([1])
     except Exception:
         pass
 
 
 def defaults(x=[]):
     return x
+
+
+@functools.lru_cache
+def memo(n):
+    return n * 2
+
+
+class Counter:
+    count = 0
+
+    def bump(self):
+        self.__class__.count = self.count + 1
+
+
+def build():
+    fns = []
+    for i in (1, 2):
+        fns.append(lambda: i)
+    return fns
 """
 
 
@@ -80,22 +123,35 @@ def test_json_schema(dirty, tmp_path, capsys):
     code, out = run([dirty, "--format", "json",
                      "--baseline", tmp_path / "none.json"], capsys)
     report = json.loads(out)
-    assert report["version"] == 1
+    assert report["version"] == 2
     assert report["files_scanned"] == 1
     assert sorted(report) == ["baselined", "counts", "files_scanned",
                               "findings", "ok", "version"]
     for f in report["findings"]:
-        assert sorted(f) == ["code", "col", "line", "message", "path",
-                             "severity", "source_line"]
+        assert sorted(f) == ["chain", "code", "col", "line", "message",
+                             "path", "severity", "source_line"]
         assert f["severity"] in ("error", "warning")
         assert f["line"] >= 1 and f["col"] >= 0
+        for step in f["chain"]:
+            assert sorted(step) == ["line", "path", "text"]
+
+
+def test_taint_findings_carry_chains(dirty, tmp_path, capsys):
+    code, out = run([dirty, "--format", "json",
+                     "--baseline", tmp_path / "none.json"], capsys)
+    by_code = {f["code"]: f for f in json.loads(out)["findings"]}
+    for code_ in ("REP101", "REP102"):
+        chain = by_code[code_]["chain"]
+        assert chain, f"{code_} finding should carry a propagation chain"
+        assert "source" in chain[-1]["text"]
+    assert by_code["REP103"]["chain"] == []  # direct read, no propagation
 
 
 def test_text_format_renders_locations(dirty, tmp_path, capsys):
     code, out = run([dirty, "--baseline", tmp_path / "none.json"], capsys)
     assert code == 1
-    assert f"{dirty}:9:" in out  # the time.time() line
-    assert "REP001" in out and "8 findings" in out
+    assert f"{dirty}:13:" in out  # the time.time() line
+    assert "REP001" in out and "16 findings" in out
 
 
 def test_select_and_ignore(dirty, tmp_path, capsys):
@@ -107,7 +163,7 @@ def test_select_and_ignore(dirty, tmp_path, capsys):
                     capsys)
     counts = json.loads(out)["counts"]
     assert "REP001" not in counts and "REP004" not in counts
-    assert len(counts) == 6
+    assert len(counts) == len(CODES) - 2
 
 
 def test_unknown_select_code_is_usage_error(dirty, capsys):
@@ -120,9 +176,9 @@ def test_write_baseline_then_clean(dirty, tmp_path, capsys):
     baseline = tmp_path / "baseline.json"
     code, out = run([dirty, "--write-baseline", "--baseline", baseline],
                     capsys)
-    assert code == 0 and "8 findings" in out
+    assert code == 0 and "16 findings" in out
     code, out = run([dirty, "--baseline", baseline], capsys)
-    assert code == 0 and "(8 baselined)" in out
+    assert code == 0 and "(16 baselined)" in out
 
 
 def test_clean_file_exits_zero(tmp_path, capsys):

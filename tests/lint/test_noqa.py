@@ -19,12 +19,27 @@ def test_directive_only_covers_its_own_line():
     src = ("import time\n"
            "# repro: noqa[REP001] reason=wrong line\n"
            "t = time.time()\n")
-    assert codes(src) == ["REP001"]
+    # the violation is reported AND the mislocated directive is stale
+    assert codes(src) == ["REP000", "REP001"]
 
 
 def test_wrong_code_does_not_suppress():
     src = WALLCLOCK.format(comment="  # repro: noqa[REP002] reason=mismatch")
-    assert codes(src) == ["REP001"]
+    # the mismatch leaves the violation live and the directive stale
+    assert codes(src) == ["REP000", "REP001"]
+
+
+def test_stale_directive_is_a_finding():
+    src = "x = 1  # repro: noqa[REP001] reason=the call was deleted\n"
+    found = lint_source(src)
+    assert [f.code for f in found] == ["REP000"]
+    assert "stale noqa[REP001]" in found[0].message
+
+
+def test_stale_check_skips_unselected_codes():
+    # REP001 never ran, so its absence on this line proves nothing
+    src = "import time\nt = time.time()  # repro: noqa[REP001] reason=ok\n"
+    assert codes(src, select=frozenset({"REP004"})) == []
 
 
 def test_multiple_codes():
@@ -32,8 +47,9 @@ def test_multiple_codes():
            "def f(x=[]):\n"
            "    return time.time(), x  "
            "# repro: noqa[REP001,REP008] reason=fixture\n")
-    # only the wallclock call sits on the directive's line
-    assert codes(src) == ["REP008"]
+    # only the wallclock call sits on the directive's line; the REP008
+    # half of the waiver matched nothing there, so it is reported stale
+    assert codes(src) == ["REP000", "REP008"]
 
 
 def test_bare_noqa_is_a_finding():

@@ -302,3 +302,246 @@ def test_select_restricts_battery():
     check(src, ["REP001", "REP008"])
     check(src, ["REP001"], select=["REP001"])
     check(src, ["REP008"], ignore=["REP001"])
+
+
+# -- REP101 wallclock taint (transitive) -------------------------------------
+
+def test_rep101_helper_one_call_away():
+    check("import time\n"
+          "def wall():\n"
+          "    return time.time()\n"
+          "def caller():\n"
+          "    return wall()\n",
+          ["REP001", "REP101"])
+
+
+def test_rep101_noqa_on_source_cuts_the_chain():
+    check("import time\n"
+          "def wall():\n"
+          "    return time.time()  "
+          "# repro: noqa[REP001] reason=progress display only\n"
+          "def caller():\n"
+          "    return wall()\n",
+          [])
+
+
+def test_rep101_untainted_call_is_quiet():
+    check("def helper():\n"
+          "    return 1\n"
+          "def caller():\n"
+          "    return helper()\n",
+          [])
+
+
+# -- REP102 entropy taint (transitive) ---------------------------------------
+
+def test_rep102_helper_one_call_away():
+    check("import random\n"
+          "def draw():\n"
+          "    return random.random()\n"
+          "def roll():\n"
+          "    return draw()\n",
+          ["REP002", "REP102"])
+
+
+def test_rep102_seeded_stream_is_quiet():
+    check("import random\n"
+          "def draw(rng):\n"
+          "    return rng.random()\n"
+          "def roll():\n"
+          "    return draw(random.Random(7))\n",
+          [])
+
+
+# -- REP103 environment reads (direct + transitive) --------------------------
+
+def test_rep103_direct_getenv():
+    check("import os\n"
+          "def flagged():\n"
+          "    return os.getenv('X')\n",
+          ["REP103"])
+
+
+def test_rep103_environ_get_and_subscript():
+    check("import os\n"
+          "def a():\n"
+          "    return os.environ.get('X')\n"
+          "def b():\n"
+          "    return os.environ['X']\n",
+          ["REP103", "REP103"])
+
+
+def test_rep103_transitive_caller_also_flagged():
+    check("import os\n"
+          "def flagged():\n"
+          "    return os.getenv('X')\n"
+          "def caller():\n"
+          "    return flagged()\n",
+          ["REP103", "REP103"])
+
+
+def test_rep103_switchboard_module_is_sanctioned():
+    check("import os\n"
+          "def load():\n"
+          "    return os.getenv('REPRO_FASTPATH')\n",
+          [], path="src/repro/sim/fastpath.py")
+
+
+def test_rep103_whole_environ_copy_for_subprocess_ok():
+    check("import os\n"
+          "def env():\n"
+          "    return dict(os.environ)\n",
+          [])
+
+
+# -- REP104 id()/hash() dependence -------------------------------------------
+
+def test_rep104_id_and_hash():
+    check("def k(o):\n    return id(o)\n", ["REP104"])
+    check("def h(s):\n    return hash(s)\n", ["REP104"])
+
+
+def test_rep104_transitive_caller():
+    check("def k(o):\n"
+          "    return id(o)\n"
+          "def use(o):\n"
+          "    return k(o)\n",
+          ["REP104", "REP104"])
+
+
+def test_rep104_method_named_hash_ok():
+    check("def f(o):\n    return o.hash()\n", [])
+
+
+# -- REP110 module-level mutable state ---------------------------------------
+
+def test_rep110_subscript_write_to_module_dict():
+    check("CACHE = {}\n"
+          "def put(k, v):\n"
+          "    CACHE[k] = v\n",
+          ["REP110"])
+
+
+def test_rep110_global_rebind():
+    check("TOTAL = 0\n"
+          "def bump():\n"
+          "    global TOTAL\n"
+          "    TOTAL = TOTAL + 1\n",
+          ["REP110"])
+
+
+def test_rep110_mutator_method_on_module_list():
+    check("EVENTS = []\n"
+          "def push(e):\n"
+          "    EVENTS.append(e)\n",
+          ["REP110"])
+
+
+def test_rep110_local_container_ok():
+    check("def f(k, v):\n"
+          "    cache = {}\n"
+          "    cache[k] = v\n"
+          "    return cache\n",
+          [])
+
+
+def test_rep110_module_constant_read_ok():
+    check("LIMIT = 8\n"
+          "def f(x):\n"
+          "    return x < LIMIT\n",
+          [])
+
+
+# -- REP111 class-attribute mutation -----------------------------------------
+
+def test_rep111_write_through_dunder_class():
+    check("class Gate:\n"
+          "    armed = False\n"
+          "    def arm(self):\n"
+          "        self.__class__.armed = True\n",
+          ["REP111"])
+
+
+def test_rep111_class_level_mutable_mutated_via_self():
+    check("class Registry:\n"
+          "    shared = []\n"
+          "    def add(self, x):\n"
+          "        self.shared.append(x)\n",
+          ["REP111"])
+
+
+def test_rep111_instance_shadow_makes_it_per_object():
+    check("class Registry:\n"
+          "    shared = []\n"
+          "    def __init__(self):\n"
+          "        self.shared = []\n"
+          "    def add(self, x):\n"
+          "        self.shared.append(x)\n",
+          [])
+
+
+def test_rep111_plain_instance_attr_ok():
+    check("class Point:\n"
+          "    def move(self, dx):\n"
+          "        self.x = dx\n",
+          [])
+
+
+# -- REP112 singletons and process-wide caches -------------------------------
+
+def test_rep112_lru_cache_decorator():
+    check("import functools\n"
+          "@functools.lru_cache\n"
+          "def memo(n):\n"
+          "    return n\n",
+          ["REP112"])
+
+
+def test_rep112_module_singleton_attr_store():
+    check("class Config:\n"
+          "    pass\n"
+          "CONFIG = Config()\n"
+          "def tune(v):\n"
+          "    CONFIG.mode = v\n",
+          ["REP112"])
+
+
+def test_rep112_singleton_read_ok():
+    check("class Config:\n"
+          "    pass\n"
+          "CONFIG = Config()\n"
+          "def mode():\n"
+          "    return CONFIG.mode\n",
+          [])
+
+
+# -- REP113 loop-variable closure capture ------------------------------------
+
+def test_rep113_lambda_captures_loop_var():
+    check("def build():\n"
+          "    fns = []\n"
+          "    for i in (1, 2):\n"
+          "        fns.append(lambda: i)\n"
+          "    return fns\n",
+          ["REP113"])
+
+
+def test_rep113_comprehension_loop_var():
+    check("def build(xs):\n"
+          "    return [lambda: x for x in xs]\n",
+          ["REP113"])
+
+
+def test_rep113_default_binding_ok():
+    check("def build():\n"
+          "    fns = []\n"
+          "    for i in (1, 2):\n"
+          "        fns.append(lambda i=i: i)\n"
+          "    return fns\n",
+          [])
+
+
+def test_rep113_lambda_outside_loop_ok():
+    check("def build(i):\n"
+          "    return lambda: i\n",
+          [])

@@ -1,0 +1,111 @@
+"""SARIF 2.1.0 output: structure, code flows, suppressions, validator."""
+
+import copy
+import json
+
+import pytest
+
+from repro.lint.cli import RULE_CATALOG, main as lint_main
+from repro.lint.engine import lint_paths
+from repro.lint.sarif import to_sarif, validate_sarif
+
+TAINTED = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def wall():\n"
+    "    return time.time()\n"
+    "\n"
+    "\n"
+    "def caller():\n"
+    "    return wall()\n"
+)
+
+
+@pytest.fixture
+def findings(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mod.py").write_text(TAINTED)
+    found, _ = lint_paths(["mod.py"])
+    assert [f.code for f in found] == ["REP001", "REP101"]
+    return found
+
+
+def test_real_output_passes_the_validator(findings):
+    doc = to_sarif(findings, [], RULE_CATALOG)
+    assert validate_sarif(doc) == []
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "REP000" in rule_ids and "REP101" in rule_ids
+
+
+def test_results_carry_fingerprints_and_levels(findings):
+    results = to_sarif(findings, [], RULE_CATALOG)["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["REP001", "REP101"]
+    for r in results:
+        assert r["level"] == "error"
+        assert "reproLintFingerprint/v1" in r["partialFingerprints"]
+        loc = r["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "mod.py"
+        assert loc["region"]["startLine"] >= 1
+
+
+def test_taint_chain_becomes_a_code_flow(findings):
+    results = to_sarif(findings, [], RULE_CATALOG)["runs"][0]["results"]
+    direct, taint = results
+    flow = taint["codeFlows"][0]["threadFlows"][0]["locations"]
+    texts = [step["location"]["message"]["text"] for step in flow]
+    assert texts == ["mod.caller calls wall", "mod.wall: source time.time"]
+    assert "codeFlows" not in direct
+
+
+def test_baselined_findings_become_suppressed_results(findings):
+    doc = to_sarif([], findings, RULE_CATALOG)
+    assert validate_sarif(doc) == []
+    for r in doc["runs"][0]["results"]:
+        assert r["suppressions"][0]["kind"] == "external"
+
+
+def test_cli_emits_valid_sarif(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mod.py").write_text(TAINTED)
+    out_path = tmp_path / "lint.sarif"
+    code = lint_main(["mod.py", "--format", "sarif",
+                      "--output", str(out_path),
+                      "--baseline", str(tmp_path / "none.json")])
+    assert code == 1
+    doc = json.loads(out_path.read_text())
+    assert validate_sarif(doc) == []
+    assert doc == json.loads(capsys.readouterr().out)
+
+
+def test_validator_rejects_structural_damage(findings):
+    good = to_sarif(findings, [], RULE_CATALOG)
+
+    broken = copy.deepcopy(good)
+    del broken["version"]
+    assert validate_sarif(broken)
+
+    broken = copy.deepcopy(good)
+    broken["runs"][0]["results"][0]["level"] = "fatal"
+    assert validate_sarif(broken)
+
+    broken = copy.deepcopy(good)
+    loc = broken["runs"][0]["results"][0]["locations"][0]
+    loc["physicalLocation"]["artifactLocation"]["uri"] = "/abs/mod.py"
+    assert validate_sarif(broken)
+
+    broken = copy.deepcopy(good)
+    broken["runs"][0]["results"][0]["suppressions"] = [{"kind": "bogus"}]
+    assert validate_sarif(broken)
+
+    broken = copy.deepcopy(good)
+    del broken["runs"][0]["tool"]["driver"]["name"]
+    assert validate_sarif(broken)
+
+    broken = copy.deepcopy(good)
+    broken["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"]["region"]["startLine"] = 0
+    assert validate_sarif(broken)
